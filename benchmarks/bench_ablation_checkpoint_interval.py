@@ -1,0 +1,80 @@
+"""Ablation — checkpoint interval: replay cost vs checkpoint-write cost.
+
+Section 5.2: without checkpoints the BE replays an ever-growing manifest
+list on every cold snapshot reconstruction; checkpointing more often
+bounds the replay tail at the cost of writing more checkpoint files.
+This bench commits a fixed stream of transactions under different
+checkpoint thresholds and measures (a) manifests replayed on a cold
+cache rebuild and (b) checkpoint files written.
+
+Expected shape: replay tail shrinks as the threshold drops; checkpoint
+writes grow — the classic log-structured trade-off.
+"""
+
+import numpy as np
+
+from repro import Aggregate, Col, Schema, TableScan, Warehouse
+
+from benchmarks.support import bench_config, print_series, run_once
+
+COMMITS = 24
+THRESHOLDS = [4, 8, 16, 100]  # 100 ≈ never, within this stream
+
+
+def run_stream(threshold: int):
+    config = bench_config()
+    config.sto.checkpoint_manifest_threshold = threshold
+    dw = Warehouse(config=config, auto_optimize=True)
+    session = dw.session()
+    session.create_table(
+        "t", Schema.of(("id", "int64"), ("v", "float64")), distribution_column="id"
+    )
+    for i in range(COMMITS):
+        session.insert(
+            "t",
+            {
+                "id": np.arange(i * 50, (i + 1) * 50, dtype=np.int64),
+                "v": np.zeros(50),
+            },
+        )
+    # Cold BE: caches lost, snapshot must be rebuilt from storage.
+    dw.context.cache.invalidate()
+    before = dw.context.cache.stats.manifests_replayed
+    count = session.query(
+        Aggregate(TableScan("t", ("id",)), (), {"n": ("count", None)})
+    )["n"][0]
+    assert count == COMMITS * 50
+    replayed = dw.context.cache.stats.manifests_replayed - before
+    return replayed, len(dw.sto.checkpoints)
+
+
+def test_ablation_checkpoint_interval(benchmark):
+    results = {}
+
+    def workload():
+        for threshold in THRESHOLDS:
+            results[threshold] = run_stream(threshold)
+        return results
+
+    run_once(benchmark, workload)
+
+    print_series(
+        f"Ablation: checkpoint interval ({COMMITS} commits, cold rebuild)",
+        ["threshold", "manifests_replayed_cold", "checkpoints_written"],
+        [
+            (threshold, results[threshold][0], results[threshold][1])
+            for threshold in THRESHOLDS
+        ],
+    )
+
+    replay_tail = [results[t][0] for t in THRESHOLDS]
+    checkpoints = [results[t][1] for t in THRESHOLDS]
+    assert replay_tail == sorted(replay_tail)  # smaller interval → shorter tail
+    assert checkpoints == sorted(checkpoints, reverse=True)
+    assert results[100][0] == COMMITS  # no checkpoint: full replay
+    assert results[4][0] < COMMITS / 2
+
+    benchmark.extra_info["results"] = {
+        str(t): {"replayed": r, "checkpoints": c}
+        for t, (r, c) in results.items()
+    }

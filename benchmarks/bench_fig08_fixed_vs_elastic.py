@@ -1,0 +1,88 @@
+"""Figure 8 — lineitem load at two scales: fixed vs elastic capacity.
+
+Paper setup: total lineitem load times at 1TB and 10TB under the fixed
+capacity of the previous-generation Synapse SQL DW service versus the
+elastic Fabric DW model.  Expected shape: elastic wins at both scales and
+the gap widens at the larger scale, while price/performance stays similar
+(cost = resources × time).
+
+Reproduction: two micro scales with a 10× data ratio; the fixed deployment
+keeps its provisioned node count, the elastic one sizes per job.
+"""
+
+from repro.workloads.tpch import TpchGenerator
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, TPCH_DISTRIBUTION
+
+from benchmarks.support import fresh_warehouse, print_series, run_once
+
+#: (label, scale factor, source files) — 10× ratio, files ∝ scale.
+SCALES = [("1TB", 0.5, 4), ("10TB", 5.0, 40)]
+FIXED_NODES = 2
+
+
+def load(scale_factor: float, source_files: int, elastic: bool):
+    dw = fresh_warehouse(
+        elastic=elastic,
+        auto_optimize=False,
+        dcp__rows_per_node_million=0.02,
+        dcp__fixed_nodes=FIXED_NODES,
+    )
+    session = dw.session()
+    session.create_table(
+        "lineitem", TPCH_SCHEMAS["lineitem"], TPCH_DISTRIBUTION["lineitem"]
+    )
+    generator = TpchGenerator(scale_factor=scale_factor, seed=42)
+    sources = generator.split_into_source_files("lineitem", source_files)
+    start = dw.clock.now
+    session.bulk_load("lineitem", sources)
+    elapsed = dw.clock.now - start
+    nodes = dw.context.wlm.pool("write").size
+    return elapsed, nodes
+
+
+def test_fig08_fixed_vs_elastic(benchmark):
+    results = {}
+
+    def workload():
+        results.clear()
+        for label, scale, files in SCALES:
+            for mode, elastic in (("fixed", False), ("elastic", True)):
+                elapsed, nodes = load(scale, files, elastic)
+                results[(label, mode)] = (elapsed, nodes)
+        return results
+
+    run_once(benchmark, workload)
+
+    rows = []
+    for label, scale, files in SCALES:
+        for mode in ("fixed", "elastic"):
+            elapsed, nodes = results[(label, mode)]
+            cost = elapsed * nodes  # resources × time: the billing model
+            rows.append((label, mode, f"{elapsed:.2f}", nodes, f"{cost:.1f}"))
+    print_series(
+        "Figure 8: lineitem load, fixed vs elastic capacity",
+        ["scale", "mode", "load_time_s", "nodes", "node_seconds"],
+        rows,
+    )
+
+    small_fixed, __ = results[("1TB", "fixed")]
+    small_elastic, __ = results[("1TB", "elastic")]
+    large_fixed, __ = results[("10TB", "fixed")]
+    large_elastic, __ = results[("10TB", "elastic")]
+
+    # Elastic is at least as fast everywhere, and the advantage widens with
+    # scale (the paper's headline).
+    assert small_elastic <= small_fixed
+    assert large_elastic < large_fixed
+    assert (large_fixed / large_elastic) > (small_fixed / small_elastic)
+
+    # Price-performance similar: elastic's node-seconds within 2x of fixed.
+    fixed_cost = large_fixed * FIXED_NODES
+    elastic_cost = large_elastic * results[("10TB", "elastic")][1]
+    assert elastic_cost < fixed_cost * 2.0
+
+    benchmark.extra_info["results"] = {
+        f"{label}/{mode}": results[(label, mode)][0]
+        for label, __, __ in SCALES
+        for mode in ("fixed", "elastic")
+    }

@@ -1,0 +1,107 @@
+"""Figure 11 — manifest checkpoints created by WP1 data maintenance.
+
+Paper setup: each WP1 DM phase runs 2 INSERTs, 6 DELETEs and two data
+compactions per table — 10 new manifest files per table per phase.  With
+the checkpoint threshold at 10 manifests, the checkpointing system task
+creates one new checkpoint per table per phase.  Figure 11 plots each
+checkpoint's lifetime (creation until superseded by the next one), with
+catalog tables checkpointed first and web tables later, following the DM
+order.
+
+Reproduction: WP1 rounds with the threshold at 10; expected shape — one
+checkpoint per (table × DM phase), created in catalog → store → web order
+within each phase.
+"""
+
+from collections import defaultdict
+
+from repro.workloads.lst_bench import LstBenchRunner
+
+from benchmarks.support import fresh_warehouse, print_series, run_once
+
+ROUNDS = 2
+
+
+def test_fig11_checkpoint_lifetimes(benchmark):
+    state = {}
+
+    def workload():
+        dw = fresh_warehouse(
+            auto_optimize=True,
+            sto__checkpoint_manifest_threshold=10,
+            sto__min_healthy_rows_per_file=100,
+        )
+        runner = LstBenchRunner(dw, scale_factor=0.25, source_files_per_table=2)
+        runner.setup()
+        phases = runner.run_wp1(rounds=ROUNDS)
+        state["dw"] = dw
+        state["runner"] = runner
+        return phases
+
+    run_once(benchmark, workload)
+
+    dw, runner = state["dw"], state["runner"]
+    id_to_name = {tid: name for name, tid in runner.table_ids.items()}
+
+    by_table = defaultdict(list)
+    for ckpt in dw.sto.checkpoints:
+        by_table[ckpt.table_id].append(ckpt)
+
+    rows = []
+    for table_id in sorted(by_table):
+        checkpoints = sorted(by_table[table_id], key=lambda c: c.created_at)
+        for index, ckpt in enumerate(checkpoints):
+            superseded = (
+                f"{checkpoints[index + 1].created_at:.1f}"
+                if index + 1 < len(checkpoints)
+                else "live"
+            )
+            lifetime = (
+                f"{checkpoints[index + 1].created_at - ckpt.created_at:.1f}"
+                if index + 1 < len(checkpoints)
+                else "-"
+            )
+            rows.append(
+                (
+                    id_to_name[table_id],
+                    f"seq {ckpt.sequence_id}",
+                    f"{ckpt.created_at:.1f}",
+                    superseded,
+                    lifetime,
+                    ckpt.manifests_collapsed,
+                )
+            )
+    print_series(
+        "Figure 11: checkpoint lifetimes per table (WP1)",
+        ["table", "checkpoint", "created_s", "superseded_s", "lifetime_s",
+         "manifests_collapsed"],
+        rows,
+    )
+
+    # Shape assertions.  Sales tables see the full 10-statement pattern every
+    # phase; tiny returns tables can emit fewer manifests (a delete matching
+    # no rows writes none), so they are only required to checkpoint at least
+    # once across the run.
+    for name, table_id in runner.table_ids.items():
+        if name.endswith("_sales"):
+            assert len(by_table[table_id]) >= ROUNDS, (
+                f"{name}: expected >= {ROUNDS} checkpoints"
+            )
+        elif name.endswith("_returns"):
+            assert len(by_table[table_id]) >= 1, f"{name}: expected a checkpoint"
+    # Every checkpoint collapsed (at least) the threshold's worth of manifests.
+    assert all(c.manifests_collapsed >= 10 for c in dw.sto.checkpoints)
+    # Catalog tables are checkpointed before web tables in each phase.
+    first_catalog = min(
+        c.created_at
+        for c in dw.sto.checkpoints
+        if id_to_name[c.table_id].startswith("catalog")
+    )
+    first_web = min(
+        c.created_at
+        for c in dw.sto.checkpoints
+        if id_to_name[c.table_id].startswith("web")
+    )
+    assert first_catalog < first_web
+
+    benchmark.extra_info["checkpoints"] = len(dw.sto.checkpoints)

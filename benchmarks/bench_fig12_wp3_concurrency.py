@@ -1,0 +1,65 @@
+"""Figure 12 — LST-Bench WP3: read/write concurrency phases.
+
+Paper setup: WP3 runs a Single User power run concurrently with Data
+Maintenance, then SU alone, then SU concurrent with an Optimize phase
+(Polaris's autonomous optimization makes a dedicated optimize unnecessary,
+so the paper runs SU alone between the concurrent phases).  Expected
+shape: SU concurrent with DM takes significantly longer than SU alone —
+each query gets a fresh snapshot of freshly committed data (statistics
+updates, cache misses, newly compacted files to re-read) — and SU
+recovers between the concurrent phases.
+
+Reproduction: the same phase sequence over the TPC-DS subset.
+"""
+
+from repro.workloads.lst_bench import LstBenchRunner
+
+from benchmarks.support import fresh_warehouse, print_series, run_once
+
+
+def test_fig12_wp3_concurrency(benchmark):
+    state = {}
+
+    def workload():
+        dw = fresh_warehouse(
+            auto_optimize=True,
+            sto__min_healthy_rows_per_file=100,
+        )
+        runner = LstBenchRunner(dw, scale_factor=0.25, source_files_per_table=2)
+        runner.setup()
+        phases = runner.run_wp3()
+        state["dw"] = dw
+        state["phases"] = phases
+        return phases
+
+    run_once(benchmark, workload)
+
+    phases = state["phases"]
+    rows = [
+        (p.name, f"{p.elapsed:.1f}", p.statements)
+        for p in phases
+    ]
+    print_series(
+        "Figure 12: LST-Bench WP3 phase durations",
+        ["phase", "elapsed_s", "statements"],
+        rows,
+    )
+    cache_stats = state["dw"].context.cache.stats.as_dict()
+    print(f"snapshot cache: {cache_stats}")
+
+    by_name = {p.name: p for p in phases}
+    su_alone = by_name["SU-alone"].elapsed
+    su_dm = by_name["SU+DM"].elapsed
+    su_between = by_name["SU-between"].elapsed
+    su_opt = by_name["SU+Optimize"].elapsed
+
+    # Shape: concurrency with DM slows SU down significantly; SU recovers
+    # between concurrent phases; SU with Optimize costs less than with DM.
+    assert su_dm > su_alone * 1.5, (
+        f"SU+DM ({su_dm:.1f}s) should be significantly slower than "
+        f"SU alone ({su_alone:.1f}s)"
+    )
+    assert su_between < su_dm
+    assert su_opt < su_dm
+
+    benchmark.extra_info["phases"] = {p.name: p.elapsed for p in phases}

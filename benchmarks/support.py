@@ -1,0 +1,63 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark drives simulated workloads and reports *simulated* seconds
+(the quantity the paper's figures plot), printed as the same rows/series
+the paper shows.  pytest-benchmark wraps the driver for wall-time
+accounting; every workload runs exactly once (``rounds=1``) because the
+drivers are stateful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro import PolarisConfig, Warehouse
+
+
+def run_once(benchmark, fn):
+    """Run a stateful workload exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_series(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print one figure's data series as an aligned table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def bench_config(**overrides) -> PolarisConfig:
+    """A configuration scaled for the micro benchmarks."""
+    config = PolarisConfig()
+    config.distributions = 8
+    config.rows_per_cell = 20_000
+    config.sto.min_healthy_rows_per_file = 300
+    config.sto.max_deleted_fraction = 0.2
+    config.sto.checkpoint_manifest_threshold = 10
+    config.sto.poll_interval_s = 60.0
+    for key, value in overrides.items():
+        section, __, attr = key.partition("__")
+        if attr:
+            setattr(getattr(config, section), attr, value)
+        else:
+            setattr(config, section, value)
+    return config
+
+
+def fresh_warehouse(elastic: bool = True, separate_pools: bool = True,
+                    auto_optimize: bool = True, **config_overrides) -> Warehouse:
+    """A new deployment for one benchmark scenario."""
+    return Warehouse(
+        config=bench_config(**config_overrides),
+        elastic=elastic,
+        separate_pools=separate_pools,
+        auto_optimize=auto_optimize,
+    )

@@ -1,0 +1,94 @@
+"""Open-format interop: publishing snapshots for other engines (Section 5.4).
+
+Polaris keeps one copy of the data in the lake and *publishes* committed
+snapshots as Delta-format metadata so Spark, and anything else that speaks
+the open format, can read warehouse tables with zero copying:
+
+1. every commit is asynchronously transformed into a ``_delta_log`` entry
+   in the user-visible location, with a OneLake shortcut mapping onto the
+   internal data folder;
+2. an "external engine" (here: :mod:`repro.sto.delta_reader`, which knows
+   nothing about the Polaris catalog) replays the published log and reads
+   the same immutable files byte for byte;
+3. deletes surface as deletion vectors in the log; compactions swap file
+   sets — the external view tracks every commit.
+
+Run:  python examples/open_format_interop.py
+"""
+
+import numpy as np
+
+from repro import BinOp, Col, Lit, Schema, Warehouse
+from repro.engine.explain import explain
+from repro.pagefile.reader import PageFileReader
+from repro.sto.delta_reader import read_published_table
+
+
+def main() -> None:
+    dw = Warehouse(database="lakehouse")
+    dw.sto.auto_publish = True  # STO publishes after every commit
+    session = dw.session()
+
+    session.create_table(
+        "readings",
+        Schema.of(("sensor", "int64"), ("ts", "int64"), ("value", "float64")),
+        distribution_column="sensor",
+        sort_column=["sensor", "ts"],  # composite Z-order key
+    )
+    rng = np.random.default_rng(3)
+    n = 5_000
+    session.insert(
+        "readings",
+        {
+            "sensor": rng.integers(0, 50, n).astype(np.int64),
+            "ts": rng.integers(0, 100_000, n).astype(np.int64),
+            "value": np.round(rng.normal(20.0, 5.0, n), 3),
+        },
+    )
+    deleted = session.delete("readings", BinOp("<", Col("value"), Lit(10.0)))
+    print(f"deleted {deleted} out-of-range readings")
+
+    # -- the external engine's view --------------------------------------------
+    external = read_published_table(dw.context, "readings")
+    print(f"published versions: {external.versions_read}")
+    print(f"live data files:    {len(external.files)}")
+    print(f"deletion vectors:   {len(external.deletion_vectors)}")
+
+    rows = 0
+    for path in external.files:
+        rows += PageFileReader(dw.store.get(path).data).num_rows
+    print(f"external engine sees {rows} physical rows "
+          "(minus DV-marked deletes, matching the warehouse)")
+
+    internal = session.table_snapshot("readings")
+    assert set(external.files) == {f.path for f in internal.files.values()}
+    print("external file set == warehouse snapshot file set  ✓")
+
+    # The shortcut that makes this zero-copy:
+    shortcut = dw.store.get("published/lakehouse/readings/_shortcut.json")
+    print(f"shortcut: {shortcut.data.decode()}")
+
+    # -- bonus: what the FE compiled for a typical query --------------------------
+    from repro import Aggregate, TableScan, and_
+    plan = Aggregate(
+        TableScan(
+            "readings",
+            ("sensor", "value"),
+            predicate=and_(
+                BinOp(">=", Col("sensor"), Lit(10)),
+                BinOp("<", Col("sensor"), Lit(12)),
+            ),
+            prune=(("sensor", ">=", 10), ("sensor", "<", 12)),
+        ),
+        ("sensor",),
+        {"avg_value": ("avg", Col("value"))},
+    )
+    print("\nEXPLAIN:")
+    print(explain(plan))
+    out = session.query(plan)
+    for sensor, avg in zip(out["sensor"], out["avg_value"]):
+        print(f"  sensor {sensor}: avg {avg:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Quickstart: create a warehouse, run transactions, see Snapshot Isolation.
+
+Walks the basic API end to end:
+
+1. create a table and insert data (auto-commit statements);
+2. run queries through the vectorized engine;
+3. use an explicit multi-statement transaction;
+4. watch two concurrent transactions — one commits, the conflicting one
+   rolls back (first-committer-wins, Section 4.1 of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Aggregate,
+    BinOp,
+    Col,
+    Filter,
+    Lit,
+    Schema,
+    Sort,
+    TableScan,
+    Warehouse,
+    WriteConflictError,
+)
+
+
+def main() -> None:
+    dw = Warehouse(database="quickstart")
+    session = dw.session()
+
+    # -- DDL + load ---------------------------------------------------------
+    session.create_table(
+        "trips",
+        Schema.of(
+            ("trip_id", "int64"),
+            ("city", "string"),
+            ("distance_km", "float64"),
+            ("fare", "float64"),
+        ),
+        distribution_column="trip_id",
+    )
+    rng = np.random.default_rng(0)
+    n = 10_000
+    session.insert(
+        "trips",
+        {
+            "trip_id": np.arange(n, dtype=np.int64),
+            "city": np.array(
+                [["seattle", "boston", "austin"][i % 3] for i in range(n)],
+                dtype=object,
+            ),
+            "distance_km": np.round(rng.exponential(5.0, n), 2),
+            "fare": np.round(2.5 + rng.exponential(12.0, n), 2),
+        },
+    )
+    print(f"loaded {n} trips; simulated time {dw.clock.now:.2f}s")
+
+    # -- query ----------------------------------------------------------------
+    revenue_by_city = Sort(
+        Aggregate(
+            TableScan("trips", ("city", "fare")),
+            ("city",),
+            {"revenue": ("sum", Col("fare")), "trips": ("count", None)},
+        ),
+        (("revenue", False),),
+    )
+    out = session.query(revenue_by_city)
+    print("\nrevenue by city:")
+    for city, revenue, trips in zip(out["city"], out["revenue"], out["trips"]):
+        print(f"  {city:8s} {revenue:12.2f}  ({trips} trips)")
+
+    # -- explicit multi-statement transaction ------------------------------------
+    session.begin()
+    session.update(
+        "trips",
+        BinOp("==", Col("city"), Lit("austin")),
+        {"fare": BinOp("*", Col("fare"), Lit(1.1))},  # 10% fare increase
+    )
+    deleted = session.delete("trips", BinOp("<", Col("distance_km"), Lit(0.5)))
+    print(f"\nin-transaction: raised austin fares, deleted {deleted} micro-trips")
+    session.commit()
+    print("transaction committed")
+
+    # -- concurrent transactions: first committer wins -----------------------------
+    surviving = session.query(TableScan("trips", ("trip_id",)))["trip_id"]
+    first_id, second_id = int(surviving[0]), int(surviving[1])
+    alice, bob = dw.session(), dw.session()
+    alice.begin()
+    bob.begin()
+    alice.delete("trips", BinOp("==", Col("trip_id"), Lit(first_id)))
+    bob.delete("trips", BinOp("==", Col("trip_id"), Lit(second_id)))
+    alice.commit()
+    try:
+        bob.commit()
+    except WriteConflictError:
+        print("\nbob's concurrent delete conflicted with alice's -> rolled back")
+        print("(table-granularity conflicts; see examples/etl_and_reporting.py")
+        print(" for file-granularity mode)")
+
+    # -- reads never block ------------------------------------------------------------
+    long_fares = session.query(
+        Filter(
+            TableScan("trips", ("trip_id", "distance_km", "fare")),
+            BinOp(">", Col("distance_km"), Lit(40.0)),
+        )
+    )
+    print(f"\n{len(long_fares['trip_id'])} trips longer than 40 km")
+    print(f"total simulated time: {dw.clock.now:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

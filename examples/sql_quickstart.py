@@ -1,0 +1,88 @@
+"""Driving the warehouse with SQL text.
+
+The same transactional engine, through the SQL dialect: DDL with storage
+options, multi-row inserts, snapshot-isolated explicit transactions,
+aggregates with HAVING, joins, CASE, LIKE, date literals, and DML.
+
+Run:  python examples/sql_quickstart.py
+"""
+
+from repro import SqlSession, Warehouse
+
+
+def show(batch, limit=10):
+    """Print a result batch as rows."""
+    names = list(batch)
+    print("  " + " | ".join(names))
+    count = len(batch[names[0]]) if names else 0
+    for i in range(min(count, limit)):
+        print("  " + " | ".join(str(batch[name][i]) for name in names))
+
+
+def main() -> None:
+    dw = Warehouse(database="sqldemo")
+    sql = SqlSession(dw.session())
+
+    sql.execute("""
+        CREATE TABLE orders (
+            order_id bigint,
+            placed bigint,
+            city varchar,
+            amount double
+        ) WITH (distribution = order_id, sort = placed)
+    """)
+    sql.execute("""
+        INSERT INTO orders (order_id, placed, city, amount) VALUES
+            (1, 728659, 'seattle', 120.00),
+            (2, 728659, 'boston',   80.50),
+            (3, 728660, 'seattle',  42.25),
+            (4, 728660, 'austin',  300.00),
+            (5, 728661, 'boston',   15.75),
+            (6, 728661, 'austin',   99.99)
+    """)
+
+    print("revenue by city (HAVING filters small cities):")
+    show(sql.execute("""
+        SELECT city, SUM(amount) AS revenue, COUNT(*) AS orders
+        FROM orders
+        GROUP BY city
+        HAVING SUM(amount) > 100
+        ORDER BY revenue DESC
+    """))
+
+    print("\norder size tiers:")
+    show(sql.execute("""
+        SELECT order_id,
+               CASE WHEN amount >= 100 THEN 'large' ELSE 'small' END AS tier
+        FROM orders ORDER BY order_id
+    """))
+
+    print("\nsnapshot-isolated transaction:")
+    sql.execute("BEGIN")
+    sql.execute("UPDATE orders SET amount = amount * 1.1 WHERE city = 'austin'")
+    sql.execute("DELETE FROM orders WHERE amount < 20")
+    in_txn = sql.execute("SELECT COUNT(*) AS n FROM orders")["n"][0]
+    # A second session still sees the pre-transaction state:
+    other = SqlSession(dw.session())
+    outside = other.execute("SELECT COUNT(*) AS n FROM orders")["n"][0]
+    print(f"  inside txn: {in_txn} orders; other session still sees {outside}")
+    sql.execute("COMMIT")
+    print(f"  after commit: "
+          f"{other.execute('SELECT COUNT(*) AS n FROM orders')['n'][0]} orders")
+
+    print("\ndate-filtered join:")
+    sql.execute("CREATE TABLE cities (city_name varchar, region varchar)")
+    sql.execute("""
+        INSERT INTO cities (city_name, region) VALUES
+            ('seattle', 'west'), ('austin', 'south'), ('boston', 'east')
+    """)
+    show(sql.execute("""
+        SELECT region, SUM(amount) AS revenue
+        FROM orders JOIN cities ON city = city_name
+        WHERE placed >= DATE '1996-01-02'
+        GROUP BY region ORDER BY revenue DESC
+    """))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro: a reproduction of "Extending Polaris to Support Transactions".
+
+A complete, laptop-scale implementation of the Polaris / Microsoft Fabric
+DW transactional engine described in the SIGMOD 2024 paper: log-structured
+tables over an immutable columnar format, Snapshot Isolation via optimistic
+MVCC over a SQL-DB-style catalog, distributed execution through a simulated
+elastic compute platform, and autonomous storage optimizations.
+
+Public entry point:
+
+>>> from repro import Warehouse, Schema, Col, Lit
+>>> dw = Warehouse()
+>>> s = dw.session()
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.common.config import PolarisConfig
+from repro.common.errors import (
+    PolarisError,
+    TransactionAbortedError,
+    WriteConflictError,
+)
+from repro.engine.expressions import (
+    BinOp,
+    BoolOp,
+    Case,
+    Col,
+    InList,
+    Like,
+    Lit,
+    Not,
+    Substr,
+    Year,
+    and_,
+    or_,
+)
+from repro.engine.planner import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.pagefile.schema import Field, Schema
+from repro.sql import SqlSession
+from repro.warehouse import Warehouse
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "BinOp",
+    "BoolOp",
+    "Case",
+    "Col",
+    "Field",
+    "Filter",
+    "InList",
+    "Join",
+    "Like",
+    "Limit",
+    "Lit",
+    "Not",
+    "PolarisConfig",
+    "PolarisError",
+    "Project",
+    "Schema",
+    "Sort",
+    "SqlSession",
+    "Substr",
+    "TableScan",
+    "TransactionAbortedError",
+    "Warehouse",
+    "WriteConflictError",
+    "Year",
+    "and_",
+    "or_",
+]

@@ -1,0 +1,114 @@
+"""Central configuration for a Polaris deployment.
+
+One :class:`PolarisConfig` instance parameterizes an entire warehouse:
+storage latencies, DCP cost-model coefficients, STO trigger thresholds,
+retention, and conflict granularity.  Defaults are chosen so that the
+benchmark harness reproduces the *shapes* of the paper's figures at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageConfig:
+    """Latency/cost model of the simulated object store (OneLake/ADLS)."""
+
+    #: Fixed per-request latency in simulated seconds.
+    request_latency_s: float = 0.004
+    #: Additional latency per MiB transferred.
+    per_mib_latency_s: float = 0.010
+    #: Probability a request fails transiently (0 disables fault injection).
+    transient_failure_rate: float = 0.0
+    #: Seed for the fault-injection PRNG.
+    failure_seed: int = 7
+
+
+@dataclass
+class DcpConfig:
+    """Cost model and scheduling parameters of the compute platform."""
+
+    #: Simulated seconds of CPU cost to process one million rows in a task.
+    seconds_per_million_rows: float = 1.2
+    #: Fixed per-task scheduling/startup overhead (simulated seconds).
+    task_overhead_s: float = 0.05
+    #: Fixed per-source-file read overhead during loads (simulated seconds).
+    per_file_overhead_s: float = 0.30
+    #: Maximum retries for a failed task before the statement fails.
+    max_task_retries: int = 3
+    #: Number of nodes in a fixed (non-elastic) topology.
+    fixed_nodes: int = 4
+    #: Hard cap on elastic topology size (None = unbounded, as in Fabric).
+    elastic_max_nodes: int | None = None
+    #: Target millions of rows of work per node when sizing elastically.
+    rows_per_node_million: float = 2.0
+    #: Task slots per compute node.
+    slots_per_node: int = 2
+    #: Probability that any task attempt fails transiently (fault injection).
+    task_failure_rate: float = 0.0
+    #: Seed for the task-failure PRNG.
+    task_failure_seed: int = 13
+
+
+@dataclass
+class StoConfig:
+    """Trigger thresholds for autonomous storage optimizations (Section 5)."""
+
+    #: A data file is "low quality" below this row count (small-file rule).
+    min_healthy_rows_per_file: int = 50_000
+    #: ... or above this fraction of deleted rows (fragmentation rule).
+    max_deleted_fraction: float = 0.20
+    #: Compact a table once this fraction of its files is low quality.
+    compaction_trigger_fraction: float = 0.10
+    #: Checkpoint a table once it accumulates this many new manifests.
+    checkpoint_manifest_threshold: int = 10
+    #: How often the STO polls its triggers (simulated seconds).
+    poll_interval_s: float = 30.0
+    #: Retention period for removed files before GC deletes them (seconds).
+    retention_period_s: float = 7 * 24 * 3600.0
+
+
+@dataclass
+class TransactionConfig:
+    """Transaction-manager behaviour (Section 4)."""
+
+    #: Conflict-detection granularity: "table" (Section 4.1) or "file"
+    #: (Section 4.4.1).
+    conflict_granularity: str = "table"
+    #: Default isolation level: "snapshot", "rcsi" or "serializable".
+    isolation: str = "snapshot"
+    #: Automatic commit retries for retriable validation failures.
+    commit_retries: int = 0
+
+
+@dataclass
+class PolarisConfig:
+    """Top-level configuration bundle for a warehouse instance."""
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    dcp: DcpConfig = field(default_factory=DcpConfig)
+    sto: StoConfig = field(default_factory=StoConfig)
+    txn: TransactionConfig = field(default_factory=TransactionConfig)
+    #: Target rows per data cell; drives how DML output is split into files.
+    rows_per_cell: int = 100_000
+    #: Rows per row group inside data files (zone-map granularity).
+    row_group_size: int = 65_536
+    #: Number of hash distributions (buckets) for cell placement.
+    distributions: int = 16
+    #: Seed shared by all deterministic generators in the deployment.
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.txn.conflict_granularity not in ("table", "file"):
+            raise ValueError(
+                f"unknown conflict granularity {self.txn.conflict_granularity!r}"
+            )
+        if self.txn.isolation not in ("snapshot", "rcsi", "serializable"):
+            raise ValueError(f"unknown isolation level {self.txn.isolation!r}")
+        if self.distributions <= 0:
+            raise ValueError("distributions must be positive")
+        if self.rows_per_cell <= 0:
+            raise ValueError("rows_per_cell must be positive")

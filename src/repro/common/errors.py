@@ -1,0 +1,119 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`PolarisError`, so
+callers can catch one base class.  Subsystems define narrower classes here
+(rather than locally) so that cross-layer handlers — e.g. the FE retry loop
+catching storage faults raised deep inside a BE task — do not need to import
+the subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+
+class PolarisError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Storage layer
+# --------------------------------------------------------------------------
+
+
+class StorageError(PolarisError):
+    """Base class for object-store failures."""
+
+
+class BlobNotFoundError(StorageError):
+    """The requested blob does not exist (or is not yet committed)."""
+
+
+class BlobAlreadyExistsError(StorageError):
+    """An immutable blob with this path already exists."""
+
+
+class EtagMismatchError(StorageError):
+    """Conditional write failed because the blob changed underneath us."""
+
+
+class BlockNotStagedError(StorageError):
+    """A commit-block-list named a block id that was never staged."""
+
+
+class TransientStorageError(StorageError):
+    """Injected or simulated transient fault; the operation may be retried."""
+
+
+# --------------------------------------------------------------------------
+# File format
+# --------------------------------------------------------------------------
+
+
+class FileFormatError(PolarisError):
+    """A data or deletion-vector file is malformed or corrupt."""
+
+
+class SchemaMismatchError(FileFormatError):
+    """Rows or columns do not match the declared schema."""
+
+
+# --------------------------------------------------------------------------
+# SQL DB catalog engine
+# --------------------------------------------------------------------------
+
+
+class SqlDbError(PolarisError):
+    """Base class for catalog-engine failures."""
+
+
+class TransactionAbortedError(SqlDbError):
+    """The transaction was aborted (by conflict, by user, or by the engine)."""
+
+
+class WriteConflictError(TransactionAbortedError):
+    """First-committer-wins write-write conflict detected at commit/write."""
+
+
+class SerializationError(TransactionAbortedError):
+    """A serializable-mode transaction observed a non-serializable overlap."""
+
+
+class TransactionStateError(SqlDbError):
+    """Operation invalid for the transaction's current state."""
+
+
+# --------------------------------------------------------------------------
+# DCP / execution
+# --------------------------------------------------------------------------
+
+
+class DcpError(PolarisError):
+    """Base class for distributed-computation-platform failures."""
+
+
+class TaskFailedError(DcpError):
+    """A task exhausted its retry budget."""
+
+
+class TopologyError(DcpError):
+    """Invalid topology operation (e.g. removing an unknown node)."""
+
+
+# --------------------------------------------------------------------------
+# Query engine / FE
+# --------------------------------------------------------------------------
+
+
+class PlanError(PolarisError):
+    """The query plan is invalid or refers to unknown objects."""
+
+
+class CatalogError(PolarisError):
+    """Logical-metadata error: unknown table, duplicate table, etc."""
+
+
+class SnapshotNotFoundError(CatalogError):
+    """No snapshot exists at the requested point in time / sequence."""
+
+
+class RetentionViolationError(CatalogError):
+    """The requested historical snapshot is beyond the retention period."""

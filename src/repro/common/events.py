@@ -1,0 +1,40 @@
+"""A minimal synchronous event bus.
+
+Components publish structured events (transaction committed, compaction ran,
+checkpoint created, node joined/left).  The STO trigger engine and the
+benchmark instrumentation subscribe to them.  Events fire synchronously on
+the publisher's call stack — there is no background thread, which keeps the
+whole simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class Event:
+    """A published event: a topic plus an arbitrary payload mapping."""
+
+    topic: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub keyed by topic string."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Callable[[Event], None]]] = defaultdict(list)
+
+    def subscribe(self, topic: str, handler: Callable[[Event], None]) -> None:
+        """Register ``handler`` for every future event on ``topic``."""
+        self._subscribers[topic].append(handler)
+
+    def publish(self, topic: str, **payload: Any) -> Event:
+        """Publish an event; all handlers run before this returns."""
+        event = Event(topic=topic, payload=dict(payload))
+        for handler in list(self._subscribers.get(topic, ())):
+            handler(event)
+        return event

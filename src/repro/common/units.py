@@ -1,0 +1,33 @@
+"""Byte-size and rate units used across the storage and cost models."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def mib(num_bytes: int) -> float:
+    """Convert a byte count to MiB as a float."""
+    return num_bytes / MIB
+
+
+def human_bytes(num_bytes: int) -> str:
+    """Render a byte count as a short human-readable string."""
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or suffix == "TiB":
+            return f"{value:.1f} {suffix}" if suffix != "B" else f"{int(value)} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_seconds(seconds: float) -> str:
+    """Render a simulated duration as a short human-readable string."""
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60:.1f} min"
+    return f"{seconds / 3600:.1f} h"

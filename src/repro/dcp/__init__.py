@@ -1,0 +1,36 @@
+"""The Polaris Distributed Computation Platform (DCP).
+
+The DCP is the substrate the original Polaris paper built for read-only
+queries and that this paper reuses unchanged for transactions: work is
+packaged into *tasks* over disjoint sets of data *cells*, tasks form a
+*workflow DAG*, and a scheduler places tasks onto an elastic topology of
+compute nodes with task-level retry on failure (Section 1, Section 3.3).
+
+The reproduction executes the tasks' real Python work immediately but
+accounts *time* on per-node simulated timelines driven by a cost model, so
+"parallel" execution produces a realistic makespan on the shared
+:class:`~repro.common.clock.SimulatedClock` while remaining deterministic
+and single-threaded.
+"""
+
+from repro.dcp.autoscaler import Autoscaler
+from repro.dcp.cells import Cell, cells_for_snapshot
+from repro.dcp.dag import WorkflowDag
+from repro.dcp.scheduler import DagResult, Scheduler
+from repro.dcp.tasks import Task, TaskContext
+from repro.dcp.topology import ComputeNode, Topology
+from repro.dcp.wlm import WorkloadManager
+
+__all__ = [
+    "Autoscaler",
+    "Cell",
+    "ComputeNode",
+    "DagResult",
+    "Scheduler",
+    "Task",
+    "TaskContext",
+    "Topology",
+    "WorkflowDag",
+    "WorkloadManager",
+    "cells_for_snapshot",
+]

@@ -1,0 +1,57 @@
+"""Data channels: task-to-task data movement accounting (Figure 5).
+
+Compute servers exchange intermediate data (shuffles, result return to the
+FE) over dedicated data channels.  In the reproduction the data itself
+travels through task results in the DAG; this module provides the
+*accounting* wrapper that sizes those transfers so the cost model can
+charge for them and the benchmarks can report shuffle volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+
+@dataclass
+class ChannelStats:
+    """Bytes moved over data channels, by channel label."""
+
+    transfers: Dict[str, int]
+
+    def __init__(self) -> None:
+        self.transfers = {}
+
+    def record(self, label: str, num_bytes: int) -> None:
+        """Account one transfer."""
+        self.transfers[label] = self.transfers.get(label, 0) + num_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across all channels."""
+        return sum(self.transfers.values())
+
+
+def estimate_batch_bytes(columns: Dict[str, np.ndarray]) -> int:
+    """Approximate wire size of a column batch.
+
+    Numeric columns are their buffer size; object (string) columns are
+    estimated at the mean string length of a small prefix sample — exact
+    sizing would require encoding every value, which the accounting does
+    not justify.
+    """
+    total = 0
+    for values in columns.values():
+        if values.dtype.kind == "O":
+            sample = values[:64]
+            avg = (
+                sum(len(str(v)) for v in sample) / max(1, len(sample))
+                if len(sample)
+                else 8
+            )
+            total += int(avg * len(values)) + 4 * len(values)
+        else:
+            total += values.nbytes
+    return total

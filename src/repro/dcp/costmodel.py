@@ -1,0 +1,28 @@
+"""Task-duration cost model.
+
+Mirrors the cost-based resource allocation described in Section 7.1: task
+cost is dominated by CPU (rows processed), with per-task scheduling
+overhead, per-source-file IO overhead (reads within one file do not scale
+out), and a transfer term for bytes moved to/from the object store.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DcpConfig, StorageConfig
+from repro.common.units import mib
+
+
+class CostModel:
+    """Computes simulated task durations from cost hints."""
+
+    def __init__(self, dcp: DcpConfig, storage: StorageConfig) -> None:
+        self._dcp = dcp
+        self._storage = storage
+
+    def task_duration(self, rows: int, files: int, io_bytes: int) -> float:
+        """Simulated seconds for one task attempt."""
+        cpu = (rows / 1_000_000) * self._dcp.seconds_per_million_rows
+        file_io = files * self._dcp.per_file_overhead_s
+        transfer = mib(io_bytes) * self._storage.per_mib_latency_s
+        requests = files * self._storage.request_latency_s
+        return self._dcp.task_overhead_s + cpu + file_io + transfer + requests

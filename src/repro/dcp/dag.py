@@ -1,0 +1,71 @@
+"""Workflow DAGs: tasks plus data-dependency edges (Section 1, item 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.common.errors import DcpError
+from repro.dcp.tasks import Task
+
+
+class WorkflowDag:
+    """A directed acyclic graph of tasks.
+
+    Edges point *from producer to consumer*; a task becomes ready once all
+    its upstream tasks finished, and its :class:`TaskContext` carries their
+    results.
+    """
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, Task] = {}
+        self._upstream: Dict[str, Set[str]] = {}
+        self._downstream: Dict[str, Set[str]] = {}
+
+    def add_task(self, task: Task, depends_on: Iterable[str] = ()) -> Task:
+        """Add a task with optional upstream dependencies."""
+        if task.task_id in self._tasks:
+            raise DcpError(f"duplicate task id {task.task_id!r}")
+        self._tasks[task.task_id] = task
+        self._upstream[task.task_id] = set()
+        self._downstream.setdefault(task.task_id, set())
+        for upstream_id in depends_on:
+            self.add_edge(upstream_id, task.task_id)
+        return task
+
+    def add_edge(self, producer_id: str, consumer_id: str) -> None:
+        """Declare that ``consumer`` needs ``producer``'s result."""
+        if producer_id not in self._tasks:
+            raise DcpError(f"unknown producer task {producer_id!r}")
+        if consumer_id not in self._tasks:
+            raise DcpError(f"unknown consumer task {consumer_id!r}")
+        self._upstream[consumer_id].add(producer_id)
+        self._downstream[producer_id].add(consumer_id)
+
+    @property
+    def tasks(self) -> Dict[str, Task]:
+        """All tasks by id."""
+        return dict(self._tasks)
+
+    def upstream_of(self, task_id: str) -> Set[str]:
+        """Ids of tasks that must finish before ``task_id`` starts."""
+        return set(self._upstream[task_id])
+
+    def topological_order(self) -> List[str]:
+        """Task ids in a valid execution order; raises on cycles."""
+        in_degree = {tid: len(up) for tid, up in self._upstream.items()}
+        ready = sorted(tid for tid, deg in in_degree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            tid = ready.pop(0)
+            order.append(tid)
+            for consumer in sorted(self._downstream[tid]):
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+            ready.sort()
+        if len(order) != len(self._tasks):
+            raise DcpError("workflow DAG contains a cycle")
+        return order
+
+    def __len__(self) -> int:
+        return len(self._tasks)

@@ -1,0 +1,67 @@
+"""Tasks: the unit of scheduling, retry and failure isolation.
+
+A task packages a Python callable with cost hints (rows, files, bytes) the
+scheduler feeds to the cost model.  Tasks must be *restartable*: the DCP
+may run a task more than once (failure injection), and the storage
+substrate guarantees that blocks staged by abandoned attempts are discarded
+at commit (Section 3.2.2) — so a correct task is one whose repeated
+execution stages fresh private files/blocks and reports only the last
+attempt's ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class TaskContext:
+    """Runtime context handed to a task's callable."""
+
+    #: Node the attempt is placed on.
+    node_id: int
+    #: 1-based attempt number (2+ means the task was restarted).
+    attempt: int
+    #: Results of upstream tasks, keyed by task id.
+    inputs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Task:
+    """A schedulable unit of work."""
+
+    task_id: str
+    fn: Callable[[TaskContext], Any]
+    #: Cost hints for the scheduler's duration model.
+    est_rows: int = 0
+    est_files: int = 0
+    est_bytes: int = 0
+    #: WLM pool the task must run in ("read" or "write", Section 4.3).
+    pool: str = "read"
+    #: Human-readable label for reports.
+    label: str = ""
+    #: Test hook: attempt numbers (1-based) that must fail with a
+    #: transient error before running the callable.
+    fail_on_attempts: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.task_id
+
+
+@dataclass
+class TaskRun:
+    """Outcome of one task (after retries): timing and result."""
+
+    task_id: str
+    node_id: int
+    attempts: int
+    start: float
+    finish: float
+    result: Any = None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds from first start to final finish."""
+        return self.finish - self.start

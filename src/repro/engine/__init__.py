@@ -1,0 +1,66 @@
+"""Vectorized query engine.
+
+Single-node execution (the role SQL Server plays on each BE node) works on
+column batches — dicts of numpy arrays — with materialized operators:
+filter, project, hash join, grouped aggregation, sort, limit.  Plans are
+built programmatically (:mod:`planner`); a T-SQL parser is out of scope
+for the reproduction, so the 22 TPC-H queries in
+:mod:`repro.workloads.tpch.queries` construct plans directly.
+
+Distributed execution (:mod:`distributed`) lowers a plan into a DCP
+workflow DAG: one scan task per data cell (with projection, predicate and
+deletion-vector merge pushed down), then a root task running the rest of
+the plan over the concatenated partials — mirroring the single-phase
+compilation in the SQL FE described in Section 3.3.
+"""
+
+from repro.engine.batch import Batch, concat_batches, empty_batch, num_rows
+from repro.engine.expressions import (
+    BinOp,
+    BoolOp,
+    Case,
+    Col,
+    InList,
+    Like,
+    Lit,
+    Not,
+    Substr,
+    Year,
+    evaluate,
+)
+from repro.engine.planner import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+__all__ = [
+    "Aggregate",
+    "Batch",
+    "BinOp",
+    "BoolOp",
+    "Case",
+    "Col",
+    "Filter",
+    "InList",
+    "Join",
+    "Like",
+    "Limit",
+    "Lit",
+    "Not",
+    "Plan",
+    "Project",
+    "Sort",
+    "Substr",
+    "TableScan",
+    "Year",
+    "concat_batches",
+    "empty_batch",
+    "evaluate",
+    "num_rows",
+]

@@ -1,0 +1,69 @@
+"""Column batches: the engine's in-memory data representation.
+
+A batch is a ``dict`` mapping column name to a numpy array; all arrays
+share one length.  Batches are passed by reference and treated as
+immutable — operators build new dicts (and reuse arrays where safe).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+Batch = Dict[str, np.ndarray]
+
+
+def num_rows(batch: Batch) -> int:
+    """Row count of a batch (0 for the empty dict)."""
+    for values in batch.values():
+        return len(values)
+    return 0
+
+
+def empty_batch(columns: Sequence[str]) -> Batch:
+    """A zero-row batch with the given column names (object dtype)."""
+    return {name: np.empty(0, dtype=object) for name in columns}
+
+
+def take(batch: Batch, indices: np.ndarray) -> Batch:
+    """Row-select by integer indices."""
+    return {name: values[indices] for name, values in batch.items()}
+
+
+def mask(batch: Batch, keep: np.ndarray) -> Batch:
+    """Row-select by boolean mask."""
+    return {name: values[keep] for name, values in batch.items()}
+
+
+def concat_batches(batches: List[Batch]) -> Batch:
+    """Vertically concatenate batches with identical column sets."""
+    batches = [b for b in batches if b]
+    if not batches:
+        return {}
+    names = list(batches[0])
+    for other in batches[1:]:
+        if list(other) != names:
+            raise ValueError(
+                f"cannot concat batches with columns {list(other)} vs {names}"
+            )
+    return {
+        name: np.concatenate([b[name] for b in batches]) if len(batches) > 1 else batches[0][name]
+        for name in names
+    }
+
+
+def from_rows(schema_names: Sequence[str], rows: Sequence[Sequence]) -> Batch:
+    """Build a batch from row tuples (test/fixture convenience)."""
+    columns: Batch = {}
+    for index, name in enumerate(schema_names):
+        values = [row[index] for row in rows]
+        if values and isinstance(values[0], bool):
+            columns[name] = np.array(values, dtype=bool)
+        elif values and isinstance(values[0], int):
+            columns[name] = np.array(values, dtype=np.int64)
+        elif values and isinstance(values[0], float):
+            columns[name] = np.array(values, dtype=np.float64)
+        else:
+            columns[name] = np.array(values, dtype=object)
+    return columns

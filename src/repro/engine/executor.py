@@ -1,0 +1,77 @@
+"""Single-node plan execution.
+
+Evaluates a logical plan bottom-up over materialized batches.  The caller
+supplies a *scan source*: a callable resolving each :class:`TableScan`
+into a batch — in production that is the FE read path over a transaction's
+snapshot; in tests it can be a plain dict of batches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.common.errors import PlanError
+from repro.engine import operators
+from repro.engine.batch import Batch
+from repro.engine.planner import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+#: Resolves a TableScan into its (already projected/pruned/filtered) batch.
+ScanSource = Callable[[TableScan], Batch]
+
+
+def execute_plan(plan: Plan, scan_source: ScanSource) -> Batch:
+    """Execute ``plan`` and return the result batch."""
+    if isinstance(plan, TableScan):
+        batch = scan_source(plan)
+        missing = [c for c in plan.columns if c not in batch]
+        if missing:
+            raise PlanError(f"scan of {plan.table!r} missing columns {missing}")
+        return {name: batch[name] for name in plan.columns}
+    if isinstance(plan, Filter):
+        return operators.filter_batch(
+            execute_plan(plan.child, scan_source), plan.predicate
+        )
+    if isinstance(plan, Project):
+        return operators.project(execute_plan(plan.child, scan_source), plan.outputs)
+    if isinstance(plan, Join):
+        return operators.hash_join(
+            execute_plan(plan.left, scan_source),
+            execute_plan(plan.right, scan_source),
+            plan.left_keys,
+            plan.right_keys,
+            plan.how,
+        )
+    if isinstance(plan, Aggregate):
+        return operators.aggregate(
+            execute_plan(plan.child, scan_source), plan.group_keys, plan.aggs
+        )
+    if isinstance(plan, Sort):
+        return operators.sort(execute_plan(plan.child, scan_source), plan.keys)
+    if isinstance(plan, Limit):
+        return operators.limit(execute_plan(plan.child, scan_source), plan.count)
+    raise PlanError(f"unknown plan node {plan!r}")
+
+
+def dict_scan_source(batches: Dict[str, Batch]) -> ScanSource:
+    """A scan source over in-memory tables (tests and examples).
+
+    Applies the scan's residual predicate, since there is no storage layer
+    underneath to do it.
+    """
+
+    def source(scan: TableScan) -> Batch:
+        batch = batches[scan.table]
+        if scan.predicate is not None:
+            batch = operators.filter_batch(batch, scan.predicate)
+        return batch
+
+    return source

@@ -1,0 +1,125 @@
+"""EXPLAIN: render logical plans and expressions as readable text.
+
+``explain(plan)`` returns the operator tree, one node per line, with the
+scans' pushed-down projections, predicates and pruning conjuncts — the
+compiled-plan view the SQL FE would show for a statement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.expressions import (
+    BinOp,
+    BoolOp,
+    Case,
+    Col,
+    Expr,
+    InList,
+    Like,
+    Lit,
+    Not,
+    Substr,
+    Year,
+)
+from repro.engine.planner import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Sort,
+    TableScan,
+)
+
+
+def format_expr(expr: Expr) -> str:
+    """One-line SQL-ish rendering of an expression tree."""
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Lit):
+        return repr(expr.value)
+    if isinstance(expr, BinOp):
+        op = "=" if expr.op == "==" else ("<>" if expr.op == "!=" else expr.op)
+        return f"({format_expr(expr.left)} {op} {format_expr(expr.right)})"
+    if isinstance(expr, BoolOp):
+        joiner = f" {expr.op.upper()} "
+        return "(" + joiner.join(format_expr(a) for a in expr.args) + ")"
+    if isinstance(expr, Not):
+        return f"NOT {format_expr(expr.arg)}"
+    if isinstance(expr, Like):
+        return f"{format_expr(expr.arg)} LIKE {expr.pattern!r}"
+    if isinstance(expr, InList):
+        values = ", ".join(repr(v) for v in expr.values)
+        return f"{format_expr(expr.arg)} IN ({values})"
+    if isinstance(expr, Case):
+        return (
+            f"CASE WHEN {format_expr(expr.cond)} THEN {format_expr(expr.then)} "
+            f"ELSE {format_expr(expr.orelse)} END"
+        )
+    if isinstance(expr, Year):
+        return f"YEAR({format_expr(expr.arg)})"
+    if isinstance(expr, Substr):
+        return f"SUBSTRING({format_expr(expr.arg)}, {expr.start}, {expr.length})"
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def explain(plan: Plan) -> str:
+    """Multi-line operator tree for a plan."""
+    lines: List[str] = []
+    _walk(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _walk(plan: Plan, depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    if isinstance(plan, TableScan):
+        line = f"{pad}Scan {plan.table} [{', '.join(plan.columns)}]"
+        if plan.predicate is not None:
+            line += f" filter={format_expr(plan.predicate)}"
+        if plan.prune:
+            conjuncts = " AND ".join(f"{c} {op} {v!r}" for c, op, v in plan.prune)
+            line += f" prune=({conjuncts})"
+        lines.append(line)
+        return
+    if isinstance(plan, Filter):
+        lines.append(f"{pad}Filter {format_expr(plan.predicate)}")
+        _walk(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Project):
+        outputs = ", ".join(
+            f"{name}={format_expr(expr)}" for name, expr in plan.outputs.items()
+        )
+        lines.append(f"{pad}Project [{outputs}]")
+        _walk(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Join):
+        keys = ", ".join(
+            f"{l}={r}" for l, r in zip(plan.left_keys, plan.right_keys)
+        )
+        lines.append(f"{pad}HashJoin[{plan.how}] on ({keys})")
+        _walk(plan.left, depth + 1, lines)
+        _walk(plan.right, depth + 1, lines)
+        return
+    if isinstance(plan, Aggregate):
+        keys = ", ".join(plan.group_keys) if plan.group_keys else "<global>"
+        aggs = ", ".join(
+            f"{name}={func}({format_expr(expr) if expr is not None else '*'})"
+            for name, (func, expr) in plan.aggs.items()
+        )
+        lines.append(f"{pad}Aggregate group=[{keys}] [{aggs}]")
+        _walk(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Sort):
+        keys = ", ".join(
+            f"{column} {'ASC' if asc else 'DESC'}" for column, asc in plan.keys
+        )
+        lines.append(f"{pad}Sort [{keys}]")
+        _walk(plan.child, depth + 1, lines)
+        return
+    if isinstance(plan, Limit):
+        lines.append(f"{pad}Limit {plan.count}")
+        _walk(plan.child, depth + 1, lines)
+        return
+    raise TypeError(f"unknown plan node {plan!r}")

@@ -1,0 +1,102 @@
+"""Logical query plans.
+
+Plans are small immutable trees built programmatically; the FE compiles
+them once (Section 3.3's single-phase compilation) and the executor in
+:mod:`repro.engine.executor` evaluates them over batches supplied by the
+read path.  Scan nodes carry an optional pushed-down predicate of
+``(column, op, literal)`` conjuncts used for row-group pruning at the
+storage layer, in addition to the full residual predicate tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.expressions import Expr
+from repro.engine.operators import AggSpec
+
+
+@dataclass(frozen=True)
+class TableScan:
+    """Scan a base table (with projection and pushdown)."""
+
+    table: str
+    columns: Tuple[str, ...]
+    #: Residual predicate evaluated on scanned rows (may be None).
+    predicate: Optional[Expr] = None
+    #: Simple conjuncts for zone-map pruning: (column, op, literal).
+    prune: Tuple[Tuple[str, str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Row filter."""
+
+    child: "Plan"
+    predicate: Expr
+
+
+@dataclass(frozen=True)
+class Project:
+    """Column projection/computation.  ``outputs`` maps name → expression."""
+
+    child: "Plan"
+    outputs: Dict[str, Expr]
+
+
+@dataclass(frozen=True)
+class Join:
+    """Hash join of two subplans."""
+
+    left: "Plan"
+    right: "Plan"
+    left_keys: Tuple[str, ...]
+    right_keys: Tuple[str, ...]
+    how: str = "inner"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Grouped aggregation."""
+
+    child: "Plan"
+    group_keys: Tuple[str, ...]
+    aggs: AggSpec
+
+
+@dataclass(frozen=True)
+class Sort:
+    """Order by ``(column, ascending)`` keys."""
+
+    child: "Plan"
+    keys: Tuple[Tuple[str, bool], ...]
+
+
+@dataclass(frozen=True)
+class Limit:
+    """Top-N."""
+
+    child: "Plan"
+    count: int
+
+
+Plan = Union[TableScan, Filter, Project, Join, Aggregate, Sort, Limit]
+
+
+def scans_of(plan: Plan) -> List[TableScan]:
+    """All TableScan leaves of a plan, left-to-right."""
+    if isinstance(plan, TableScan):
+        return [plan]
+    if isinstance(plan, Join):
+        return scans_of(plan.left) + scans_of(plan.right)
+    return scans_of(plan.child)
+
+
+def tables_of(plan: Plan) -> List[str]:
+    """Distinct base tables referenced, in first-occurrence order."""
+    tables: List[str] = []
+    for scan in scans_of(plan):
+        if scan.table not in tables:
+            tables.append(scan.table)
+    return tables

@@ -1,0 +1,106 @@
+"""Table-level statistics derived from snapshots.
+
+The SQL BE gathers coarse-grained statistics during scans — file counts,
+row counts, deleted-row counts — which the FE aggregates and pushes to the
+STO (Section 5.1).  The same numbers drive the autoscaler's sizing and the
+storage-health monitor behind Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.config import StoConfig
+from repro.lst.snapshot import TableSnapshot
+
+
+@dataclass(frozen=True)
+class FileHealth:
+    """Health assessment of one live data file."""
+
+    file_name: str
+    num_rows: int
+    deleted_rows: int
+    healthy: bool
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Coarse statistics of one table snapshot."""
+
+    table_id: int
+    sequence_id: int
+    file_count: int
+    total_rows: int
+    deleted_rows: int
+    low_quality_files: int
+
+    @property
+    def live_rows(self) -> int:
+        """Rows after deletion-vector filtering."""
+        return self.total_rows - self.deleted_rows
+
+    @property
+    def low_quality_fraction(self) -> float:
+        """Fraction of files below the health thresholds."""
+        if self.file_count == 0:
+            return 0.0
+        return self.low_quality_files / self.file_count
+
+    @property
+    def healthy(self) -> bool:
+        """Whether every file is within the optimality thresholds."""
+        return self.low_quality_files == 0
+
+
+def file_health(
+    snapshot: TableSnapshot, config: StoConfig
+) -> List[FileHealth]:
+    """Per-file health of a snapshot under the STO thresholds.
+
+    A file is low quality if it is too small (small-file pattern) or
+    carries too high a deleted fraction (fragmentation pattern) —
+    Section 5's two main degradation patterns.  The small-file rule only
+    applies when the file's cell holds another file to merge with:
+    a singleton file per distribution is already as compact as the table
+    can get, so tiny tables are not permanently "unhealthy".
+    """
+    files_per_distribution: Dict[int, int] = {}
+    for info in snapshot.files.values():
+        files_per_distribution[info.distribution] = (
+            files_per_distribution.get(info.distribution, 0) + 1
+        )
+    report = []
+    for info in sorted(snapshot.files.values(), key=lambda f: f.name):
+        dv = snapshot.dv_for(info.name)
+        deleted = dv.cardinality if dv is not None else 0
+        mergeable = files_per_distribution[info.distribution] > 1
+        too_small = mergeable and info.num_rows < config.min_healthy_rows_per_file
+        too_deleted = (
+            info.num_rows > 0 and deleted / info.num_rows > config.max_deleted_fraction
+        )
+        report.append(
+            FileHealth(
+                file_name=info.name,
+                num_rows=info.num_rows,
+                deleted_rows=deleted,
+                healthy=not (too_small or too_deleted),
+            )
+        )
+    return report
+
+
+def collect_stats(
+    table_id: int, snapshot: TableSnapshot, config: StoConfig
+) -> TableStats:
+    """Aggregate a snapshot into :class:`TableStats`."""
+    health = file_health(snapshot, config)
+    return TableStats(
+        table_id=table_id,
+        sequence_id=snapshot.sequence_id,
+        file_count=len(health),
+        total_rows=sum(h.num_rows for h in health),
+        deleted_rows=sum(h.deleted_rows for h in health),
+        low_quality_files=sum(1 for h in health if not h.healthy),
+    )

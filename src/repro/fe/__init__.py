@@ -1,0 +1,25 @@
+"""The SQL Front End: Polaris transaction management (the paper's core).
+
+The FE is where the paper's contribution lives (Sections 3 and 4):
+
+* sessions compile statements and run them through the DCP as task DAGs,
+  with reads and writes handled uniformly;
+* every user transaction is backed by a *root* SQL DB transaction with
+  Snapshot Isolation over the catalog's ``Manifests`` and ``WriteSets``
+  tables;
+* writes produce private data/DV files plus a per-(transaction, table)
+  manifest file assembled from staged blocks, flushed by the FE after each
+  statement;
+* commit runs the optimistic validation phase — WriteSets upserts, commit
+  lock, Manifests inserts, root-transaction commit — giving
+  first-committer-wins Snapshot Isolation across multi-table,
+  multi-statement transactions;
+* lineage features (Query-As-Of, Clone-As-Of, backup/restore) ride on the
+  same Manifests metadata.
+"""
+
+from repro.fe.context import ServiceContext
+from repro.fe.session import Session
+from repro.fe.transaction import PolarisTransaction
+
+__all__ = ["PolarisTransaction", "ServiceContext", "Session"]

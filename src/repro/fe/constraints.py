@@ -1,0 +1,78 @@
+"""Optional unique-key enforcement (Section 4.4.3).
+
+The paper deliberately does **not** enforce Unique/Primary Key
+constraints: checking for duplicates "will have a severe impact on all
+changes, including inserts", which is unacceptable for insert-heavy
+analytics.  The reproduction implements enforcement as an opt-in table
+property precisely so that the cost the paper cites can be measured — see
+``benchmarks/bench_ablation_unique_constraints.py``.
+
+Enforcement strategy (the cheapest sound one available to an LST engine):
+on insert, (1) reject intra-batch duplicates, then (2) anti-join the batch
+keys against the table's current snapshot, reading only the key column of
+files whose zone maps overlap the batch's key range.  The check runs
+inside the inserting transaction's snapshot; under SI, two concurrent
+inserts of the same key can still both commit (the paper's other reason to
+avoid the feature), which the tests document.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+import numpy as np
+
+from repro.common.errors import PolarisError
+from repro.engine.batch import Batch
+from repro.fe.context import ServiceContext
+from repro.fe.transaction import PolarisTransaction
+from repro.fe.write_path import _load_dv
+from repro.pagefile.reader import PageFileReader
+
+
+class UniqueConstraintViolation(PolarisError):
+    """An insert would duplicate values of a unique column."""
+
+
+def check_unique(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    table_row: Dict[str, Any],
+    batch: Batch,
+) -> None:
+    """Raise :class:`UniqueConstraintViolation` if the insert is invalid.
+
+    No-op for tables without a ``unique_column`` property.
+    """
+    column = table_row.get("unique_column")
+    if column is None:
+        return
+    values = np.asarray(batch[column])
+    if len(values) == 0:
+        return
+    unique_count = len(np.unique(values)) if values.dtype.kind != "O" else len(
+        set(values.tolist())
+    )
+    if unique_count != len(values):
+        raise UniqueConstraintViolation(
+            f"insert batch contains duplicate values of {column!r}"
+        )
+    incoming: Set[Any] = set(values.tolist())
+    lo, hi = values.min(), values.max()
+    snapshot = txn.table_snapshot(table_row["table_id"])
+    for info in snapshot.files.values():
+        bounds = info.stats_for(column)
+        if bounds is not None and (bounds[1] < lo or bounds[0] > hi):
+            continue  # zone maps prove no overlap
+        reader = PageFileReader(context.store.get(info.path).data)
+        existing = reader.read(
+            columns=[column],
+            deletion_vector=_load_dv(context, snapshot.dv_for(info.name)),
+        )[column]
+        clash = incoming.intersection(existing.tolist())
+        if clash:
+            sample = sorted(clash)[:3]
+            raise UniqueConstraintViolation(
+                f"values {sample} of {column!r} already exist in "
+                f"{table_row['name']!r}"
+            )

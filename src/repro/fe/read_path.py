@@ -1,0 +1,171 @@
+"""Distributed execution of read statements (Section 3.2.1).
+
+A query plan's base-table scans fan out as one DCP task per cell; each
+task reconstructs its slice from immutable data files plus the current
+deletion vectors (merge-on-read), with projection and zone-map pruning
+pushed down.  The FE concatenates the partial batches and runs the rest of
+the plan, charging its CPU cost to the clock as the root task.
+
+Scans also gather the coarse per-table statistics (file counts, deleted
+rows) the FE pushes to the STO (Section 5.1) — the trigger feed for
+autonomous compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.dcp.cells import cells_for_snapshot
+from repro.dcp.dag import WorkflowDag
+from repro.dcp.tasks import Task, TaskContext
+from repro.engine.batch import Batch, concat_batches, empty_batch, num_rows
+from repro.engine.executor import execute_plan
+from repro.engine.operators import filter_batch
+from repro.engine.planner import Plan, TableScan, scans_of
+from repro.engine.statistics import collect_stats
+from repro.fe.catalog import describe_table
+from repro.fe.context import ServiceContext
+from repro.fe.timetravel import snapshot_as_of
+from repro.fe.transaction import PolarisTransaction
+from repro.fe.write_path import _load_dv
+from repro.lst.snapshot import TableSnapshot
+from repro.pagefile.reader import PageFileReader
+
+
+def scan_table(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    scan: TableScan,
+    snapshot_override: "TableSnapshot | None" = None,
+) -> Batch:
+    """Execute one distributed table scan within ``txn``'s snapshot.
+
+    ``snapshot_override`` substitutes an explicit snapshot (Query As Of,
+    Section 6.1) for the transaction's own view.
+    """
+    table_row = describe_table(txn.root, scan.table)
+    table_id = table_row["table_id"]
+    snapshot = (
+        snapshot_override
+        if snapshot_override is not None
+        else txn.table_snapshot(table_id)
+    )
+    # File-level pruning: manifests carry per-file zone maps, so whole
+    # files that cannot match are dropped before any cell is scheduled.
+    # Health statistics are reported over the *unpruned* snapshot.
+    full_snapshot = snapshot
+    if scan.prune:
+        snapshot = _prune_snapshot(snapshot, scan.prune)
+    cells = [
+        cell
+        for cell in cells_for_snapshot(table_id, snapshot, context.config.distributions)
+        if cell.files
+    ]
+    if not cells:
+        _publish_scan_stats(context, table_id, full_snapshot)
+        return empty_batch(scan.columns)
+
+    dag = WorkflowDag()
+    prune = list(scan.prune) or None
+    for cell in cells:
+
+        def scan_cell(ctx: TaskContext, cell=cell) -> Batch:
+            parts: List[Batch] = []
+            for info in cell.files:
+                reader = PageFileReader(context.store.get(info.path).data)
+                dv = _load_dv(context, snapshot.dv_for(info.name))
+                batch = reader.read(
+                    columns=list(scan.columns),
+                    prune=prune,
+                    deletion_vector=dv,
+                )
+                if scan.predicate is not None and num_rows(batch):
+                    batch = filter_batch(batch, scan.predicate)
+                if num_rows(batch):
+                    parts.append(batch)
+            return concat_batches(parts) if parts else empty_batch(scan.columns)
+
+        dag.add_task(
+            Task(
+                task_id=f"scan:{table_id}:{cell.distribution:04d}",
+                fn=scan_cell,
+                est_rows=cell.num_rows,
+                est_files=len(cell.files),
+                est_bytes=cell.total_bytes,
+                pool="read",
+            )
+        )
+
+    if context.elastic:
+        total_rows = sum(cell.num_rows for cell in cells)
+        context.wlm.resize_pool("read", context.autoscaler.nodes_for_query(total_rows))
+    result = context.scheduler.execute(dag, wlm=context.wlm)
+    parts = [
+        result.results[task_id]
+        for task_id in sorted(result.results)
+        if num_rows(result.results[task_id])
+    ]
+    _publish_scan_stats(context, table_id, full_snapshot)
+    return concat_batches(parts) if parts else empty_batch(scan.columns)
+
+
+def execute_query(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    plan: Plan,
+    as_of: "float | None" = None,
+) -> Batch:
+    """Execute a full query plan within ``txn``'s snapshot.
+
+    Each base scan runs as its own distributed DAG; the residual plan
+    (joins, aggregation, sort) runs at the root, with its CPU cost charged
+    to the simulated clock.  With ``as_of``, every scan reads the tables'
+    state at that timestamp instead (Query As Of).
+    """
+    scanned: Dict[int, Batch] = {}
+    scan_rows = 0
+
+    def source(scan: TableScan) -> Batch:
+        batch = scanned[id(scan)]
+        return batch
+
+    for scan in scans_of(plan):
+        override = None
+        if as_of is not None:
+            table_row = describe_table(txn.root, scan.table)
+            override = snapshot_as_of(context, table_row["table_id"], as_of)
+        batch = scan_table(context, txn, scan, snapshot_override=override)
+        scanned[id(scan)] = batch
+        scan_rows += num_rows(batch)
+
+    result = execute_plan(plan, source)
+    root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
+    context.clock.advance(root_cost)
+    return result
+
+
+def _prune_snapshot(snapshot: TableSnapshot, prune) -> TableSnapshot:
+    """A snapshot view keeping only files whose zone maps may match."""
+    prune = tuple(prune)
+    kept = {
+        name: info
+        for name, info in snapshot.files.items()
+        if info.may_match(prune)
+    }
+    if len(kept) == len(snapshot.files):
+        return snapshot
+    return TableSnapshot(
+        sequence_id=snapshot.sequence_id,
+        files=kept,
+        dvs={name: dv for name, dv in snapshot.dvs.items() if name in kept},
+        tombstones=snapshot.tombstones,
+    )
+
+
+def _publish_scan_stats(context: ServiceContext, table_id, snapshot) -> None:
+    stats = collect_stats(table_id, snapshot, context.config.sto)
+    context.bus.publish(
+        "stats.table",
+        table_id=table_id,
+        stats=stats,
+    )

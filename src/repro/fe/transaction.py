@@ -1,0 +1,271 @@
+"""Polaris user transactions (Sections 3 and 4).
+
+A :class:`PolarisTransaction` pairs a *root* SQL DB transaction in the FE
+(holding the catalog view and, at commit, the validation phase) with
+per-table write state: the transaction manifest file, its committed block
+list, the reconciled action overlay, and the set of touched data files for
+conflict detection.
+
+Life cycle:
+
+* **Read phase** — statements capture table snapshots through the root
+  transaction's SI view of the ``Manifests`` table, overlay the
+  transaction's own manifest, and execute through the DCP.
+* **Validation phase** (:meth:`commit`) — WriteSets upserts for every
+  table (or data file) the transaction updated/deleted, then Manifests
+  inserts stamped with the commit sequence under the commit lock, then the
+  root commit.  First-committer-wins: a conflicting concurrent committer
+  causes :class:`~repro.common.errors.WriteConflictError` and an automatic
+  rollback that leaves no visible trace (private files become GC orphans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.errors import TransactionStateError
+from repro.fe.context import ServiceContext
+from repro.lst.actions import Action
+from repro.lst.manifest import encode_actions, reconcile_actions
+from repro.lst.snapshot import TableSnapshot
+from repro.sqldb import system_tables as catalog
+from repro.sqldb.transaction import IsolationLevel, SqlDbTransaction, TxnState
+from repro.storage import paths
+from repro.storage.block_blob import BlockBlobClient
+from repro.storage.retry import with_retries
+
+_ISOLATION_MAP = {
+    "snapshot": IsolationLevel.SNAPSHOT,
+    "rcsi": IsolationLevel.RCSI,
+    "serializable": IsolationLevel.SERIALIZABLE,
+}
+
+
+@dataclass
+class TableWriteState:
+    """Per-(transaction, table) write-side bookkeeping."""
+
+    table_id: int
+    manifest_name: str
+    manifest_path: str
+    committed_block_ids: List[str] = field(default_factory=list)
+    #: Reconciled net actions of all statements so far (the overlay).
+    actions: List[Action] = field(default_factory=list)
+    #: Names of *pre-existing* data files this transaction updated/deleted
+    #: (the conflict units for file-granularity detection).
+    touched_files: Set[str] = field(default_factory=set)
+    has_update_or_delete: bool = False
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+
+
+class PolarisTransaction:
+    """One user transaction, possibly spanning statements and tables."""
+
+    def __init__(
+        self, context: ServiceContext, isolation: Optional[str] = None
+    ) -> None:
+        self._context = context
+        level = _ISOLATION_MAP[isolation or context.config.txn.isolation]
+        self.isolation = level
+        self.root: SqlDbTransaction = context.sqldb.begin(level)
+        self.guid = context.guids.next()
+        self._writes: Dict[int, TableWriteState] = {}
+        self.retries = 0
+
+    # -- status ----------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        """Whether statements can still run in this transaction."""
+        return self.root.state is TxnState.ACTIVE
+
+    @property
+    def txid(self) -> int:
+        """The durable SQL DB transaction id."""
+        return self.root.txid
+
+    @property
+    def begin_ts(self) -> float:
+        """Simulated begin time (stamps private files for GC)."""
+        return self.root.begin_ts
+
+    def _require_active(self) -> None:
+        if not self.is_active:
+            raise TransactionStateError(
+                f"transaction {self.txid} is {self.root.state.value}"
+            )
+
+    # -- read phase: snapshots ---------------------------------------------------
+
+    def visible_sequence(self, table_id: int) -> int:
+        """Highest manifest sequence of ``table_id`` visible to this txn.
+
+        Read through the root transaction so SI/RCSI visibility rules (and
+        serializable read-set tracking) apply exactly as the paper
+        describes: the snapshot *is* the root transaction's view of the
+        ``Manifests`` table.
+        """
+        self._require_active()
+        rows = catalog.manifests_for_table(self.root, table_id)
+        return rows[-1]["sequence_id"] if rows else 0
+
+    def committed_snapshot(self, table_id: int) -> TableSnapshot:
+        """The table's committed state as visible to this transaction."""
+        return self._context.cache.get(table_id, self.visible_sequence(table_id))
+
+    def table_snapshot(self, table_id: int) -> TableSnapshot:
+        """Committed snapshot overlaid with this transaction's own writes.
+
+        This is the multi-statement rule of Section 3.2.3: subsequent
+        statements see prior statements' changes by reading the current
+        transaction manifest on top of the committed manifests.
+        """
+        snapshot = self.committed_snapshot(table_id)
+        state = self._writes.get(table_id)
+        if state is None or not state.actions:
+            return snapshot
+        return snapshot.apply_manifest(
+            state.actions, snapshot.sequence_id + 1, self._context.clock.now
+        )
+
+    # -- write phase: manifest assembly ------------------------------------------
+
+    def write_state(self, table_id: int) -> TableWriteState:
+        """Get or create the write state (and manifest file name) for a table."""
+        self._require_active()
+        state = self._writes.get(table_id)
+        if state is None:
+            name = self._context.guids.next()
+            state = TableWriteState(
+                table_id=table_id,
+                manifest_name=name,
+                manifest_path=paths.manifest_path(
+                    self._context.database, table_id, name
+                ),
+            )
+            self._writes[table_id] = state
+        return state
+
+    def manifest_writer(self, table_id: int) -> BlockBlobClient:
+        """A block-blob client BE tasks use to stage manifest blocks."""
+        state = self.write_state(table_id)
+        return BlockBlobClient(
+            self._context.store, state.manifest_path, self._context.guids
+        )
+
+    def flush_insert(
+        self, table_id: int, new_block_ids: List[str], new_actions: List[Action]
+    ) -> None:
+        """FE flush after an insert statement: append blocks to the manifest.
+
+        Inserts have no dependency on previous changes, so the FE simply
+        re-commits the old block list plus the new ids (Section 3.2.3).
+        """
+        state = self.write_state(table_id)
+        state.committed_block_ids.extend(new_block_ids)
+        with_retries(
+            lambda: self._context.store.commit_block_list(
+                state.manifest_path, state.committed_block_ids
+            )
+        )
+        state.actions.extend(new_actions)
+
+    def flush_rewrite(self, table_id: int, new_actions: List[Action]) -> List[str]:
+        """FE flush after an update/delete: reconcile and rewrite the manifest.
+
+        The accumulated actions are reconciled so the manifest never
+        references private files superseded within this transaction; the
+        result is staged as a fresh compacted block and the manifest is
+        re-committed with only the rewritten blocks.  Returns orphaned
+        private-file paths (left behind for garbage collection).
+        """
+        state = self.write_state(table_id)
+        net, orphans = reconcile_actions(state.actions + new_actions)
+        state.actions = net
+        writer = BlockBlobClient(
+            self._context.store, state.manifest_path, self._context.guids
+        )
+        block_id = with_retries(lambda: writer.write_block(encode_actions(net)))
+        state.committed_block_ids = [block_id]
+        with_retries(
+            lambda: self._context.store.commit_block_list(
+                state.manifest_path, [block_id]
+            )
+        )
+        return orphans
+
+    # -- validation phase ----------------------------------------------------------
+
+    def commit(self) -> Optional[int]:
+        """Run the validation phase; returns the commit sequence id.
+
+        Steps (Section 4.1.2): (1) WriteSets upserts for updated/deleted
+        conflict units; (2–3) under the commit lock, stamp and insert the
+        Manifests rows; (4) commit the root transaction.  On conflict the
+        root transaction rolls back, reverting WriteSets and Manifests
+        changes, and the error propagates to the caller.
+        """
+        self._require_active()
+        dirty = [s for s in self._writes.values() if s.actions]
+        granularity = self._context.config.txn.conflict_granularity
+        for state in dirty:
+            if not state.has_update_or_delete:
+                continue
+            if granularity == "file":
+                for file_name in sorted(state.touched_files):
+                    catalog.upsert_writeset(self.root, state.table_id, file_name)
+            else:
+                catalog.upsert_writeset(self.root, state.table_id)
+
+        if dirty:
+            committed_at = self._context.clock.now
+
+            def stamp_manifests(sequence_id: int) -> None:
+                for state in dirty:
+                    catalog.insert_manifest(
+                        self.root,
+                        state.table_id,
+                        state.manifest_name,
+                        sequence_id,
+                        self.root.txid,
+                        committed_at,
+                        state.manifest_path,
+                    )
+
+            self.root.set_pre_install_hook(stamp_manifests)
+
+        commit_seq = self.root.commit()
+        for state in dirty:
+            self._context.bus.publish(
+                "txn.committed",
+                table_id=state.table_id,
+                sequence_id=commit_seq,
+                manifest_name=state.manifest_name,
+                rows_inserted=state.rows_inserted,
+                rows_deleted=state.rows_deleted,
+            )
+        return commit_seq
+
+    def rollback(self) -> None:
+        """Abort: discard catalog changes; private files become GC orphans."""
+        if self.root.state is TxnState.ACTIVE:
+            self.root.abort()
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def modified_tables(self) -> List[int]:
+        """Ids of tables with buffered physical changes."""
+        return sorted(tid for tid, s in self._writes.items() if s.actions)
+
+    def private_file_paths(self) -> List[str]:
+        """Paths of files this transaction created (for tests and GC checks)."""
+        out = []
+        for state in self._writes.values():
+            for action in state.actions:
+                info = getattr(action, "file", None) or getattr(action, "dv", None)
+                if action.kind in ("add_file", "add_dv") and info is not None:
+                    out.append(info.path)
+        return out

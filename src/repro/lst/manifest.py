@@ -1,0 +1,108 @@
+"""Manifest wire format and intra-transaction reconciliation.
+
+A manifest file is a sequence of JSON lines, one action per line.  Each BE
+task serializes its actions into one *block* of lines; the concatenation of
+the blocks named in the final commit-block-list is the manifest content
+(Section 3.2.2) — so the wire form must (and does) survive arbitrary block
+concatenation.
+
+:func:`reconcile_actions` implements the manifest *rewrite* performed for
+update/delete statements inside multi-statement transactions
+(Section 3.2.3): actions that were made obsolete by later actions of the
+same transaction are dropped, so the final manifest never references
+superseded private files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.lst.actions import (
+    Action,
+    AddDataFile,
+    AddDeletionVector,
+    RemoveDataFile,
+    RemoveDeletionVector,
+    action_from_dict,
+)
+
+
+def encode_actions(actions: List[Action]) -> bytes:
+    """Serialize actions into one manifest block (JSON lines)."""
+    lines = [json.dumps(action.to_dict(), separators=(",", ":")) for action in actions]
+    return ("".join(line + "\n" for line in lines)).encode("utf-8")
+
+
+def decode_manifest(data: bytes) -> List[Action]:
+    """Parse a full manifest file (any concatenation of encoded blocks)."""
+    actions: List[Action] = []
+    for line in data.decode("utf-8").splitlines():
+        if line.strip():
+            actions.append(action_from_dict(json.loads(line)))
+    return actions
+
+
+def reconcile_actions(actions: List[Action]) -> Tuple[List[Action], List[str]]:
+    """Compute the net effect of a transaction's accumulated actions.
+
+    Returns ``(net_actions, orphaned_paths)`` where ``orphaned_paths`` are
+    object-store paths of private files that the transaction created and
+    then superseded within its own lifetime — they will never be referenced
+    by the committed manifest and await garbage collection.
+
+    Rules (file names are unique, so pairs match exactly):
+
+    * ``Add f`` then ``Remove f``     → both drop; ``f`` is orphaned.
+    * ``Add dv`` then ``Remove dv``   → both drop; the DV file is orphaned.
+    * two ``Add dv`` for the same target data file → only the last survives;
+      earlier private DVs are orphaned.  (A DV the table already had is
+      removed via an explicit ``Remove dv``, which is kept.)
+    * everything else is kept, removes ordered before adds.
+    """
+    added_files: Dict[str, AddDataFile] = {}
+    removed_files: Dict[str, RemoveDataFile] = {}
+    added_dvs: Dict[str, AddDeletionVector] = {}  # keyed by *target* file
+    removed_dvs: Dict[str, RemoveDeletionVector] = {}  # keyed by dv name
+    orphans: List[str] = []
+
+    for action in actions:
+        if isinstance(action, AddDataFile):
+            added_files[action.file.name] = action
+        elif isinstance(action, RemoveDataFile):
+            if action.file.name in added_files:
+                orphans.append(added_files.pop(action.file.name).file.path)
+                # Any private DV on the cancelled private file dangles too.
+                private_dv = added_dvs.pop(action.file.name, None)
+                if private_dv is not None:
+                    orphans.append(private_dv.dv.path)
+            else:
+                removed_files[action.file.name] = action
+        elif isinstance(action, AddDeletionVector):
+            previous = added_dvs.get(action.dv.target_file)
+            if previous is not None:
+                orphans.append(previous.dv.path)
+            added_dvs[action.dv.target_file] = action
+        elif isinstance(action, RemoveDeletionVector):
+            # Removing a DV this transaction itself added: both vanish.
+            private = added_dvs.get(action.dv.target_file)
+            if private is not None and private.dv.name == action.dv.name:
+                orphans.append(private.dv.path)
+                del added_dvs[action.dv.target_file]
+            else:
+                removed_dvs[action.dv.name] = action
+        else:  # pragma: no cover - exhaustive over the Action union
+            raise TypeError(f"unknown action {action!r}")
+
+    # A DV targeting a data file that this same transaction removed is
+    # pointless (the file is gone); drop it as an orphan too.
+    for target in list(added_dvs):
+        if target in removed_files:
+            orphans.append(added_dvs.pop(target).dv.path)
+
+    net: List[Action] = []
+    net.extend(removed_files[name] for name in sorted(removed_files))
+    net.extend(removed_dvs[name] for name in sorted(removed_dvs))
+    net.extend(added_files[name] for name in sorted(added_files))
+    net.extend(added_dvs[target] for target in sorted(added_dvs))
+    return net, orphans

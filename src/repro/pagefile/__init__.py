@@ -1,0 +1,30 @@
+"""Immutable columnar file format (the reproduction's Parquet stand-in).
+
+The paper stores table data in Parquet.  What the transaction machinery
+actually requires of the format is:
+
+* immutability — files are written once, then only referenced or logically
+  removed by manifests;
+* columnar layout with row groups, so scans can project columns and skip
+  row groups via min/max statistics;
+* a sidecar *deletion vector* format marking rows of a data file as deleted
+  without rewriting it (merge-on-read, Section 2.1).
+
+``pagefile`` implements exactly that: a footer-indexed binary format with
+zlib-compressed column chunks, per-row-group zone maps, and a compressed
+bitmap deletion-vector file.
+"""
+
+from repro.pagefile.deletion_vector import DeletionVector
+from repro.pagefile.file_format import PageFile, write_page_file
+from repro.pagefile.reader import PageFileReader
+from repro.pagefile.schema import Field, Schema
+
+__all__ = [
+    "DeletionVector",
+    "Field",
+    "PageFile",
+    "PageFileReader",
+    "Schema",
+    "write_page_file",
+]

@@ -1,0 +1,152 @@
+"""The binary layout of a page file.
+
+Layout (all little-endian)::
+
+    +--------------------------------------+
+    | magic "RPF1" (4 bytes)               |
+    | row group 0: column chunks, in order |
+    | row group 1: ...                     |
+    | footer: JSON metadata (schema, row   |
+    |   groups, chunk offsets, stats)      |
+    | footer length (uint32)               |
+    | magic "RPF1" (4 bytes)               |
+    +--------------------------------------+
+
+Readers fetch the footer first (by slicing from the end), then fetch only
+the chunks they need — mirroring how engines read Parquet from object
+stores.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.common.errors import FileFormatError
+from repro.pagefile.encoding import encode_column
+from repro.pagefile.schema import Schema
+from repro.pagefile.stats import ColumnStats, compute_stats
+
+MAGIC = b"RPF1"
+DEFAULT_ROW_GROUP_SIZE = 65_536
+
+
+@dataclass
+class ChunkMeta:
+    """Location and statistics of one column chunk inside the file."""
+
+    offset: int
+    length: int
+    stats: ColumnStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (footer metadata)."""
+        return {"offset": self.offset, "length": self.length, "stats": self.stats.to_dict()}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "ChunkMeta":
+        return cls(
+            offset=raw["offset"],
+            length=raw["length"],
+            stats=ColumnStats.from_dict(raw["stats"]),
+        )
+
+
+@dataclass
+class RowGroupMeta:
+    """Row count and per-column chunks of one row group."""
+
+    num_rows: int
+    chunks: Dict[str, ChunkMeta] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (footer metadata)."""
+        return {
+            "num_rows": self.num_rows,
+            "chunks": {name: chunk.to_dict() for name, chunk in self.chunks.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "RowGroupMeta":
+        return cls(
+            num_rows=raw["num_rows"],
+            chunks={
+                name: ChunkMeta.from_dict(chunk)
+                for name, chunk in raw["chunks"].items()
+            },
+        )
+
+
+@dataclass
+class PageFile:
+    """Parsed footer of a page file: everything needed to plan reads."""
+
+    schema: Schema
+    num_rows: int
+    row_groups: List[RowGroupMeta]
+
+    def to_footer_dict(self) -> Dict[str, Any]:
+        """JSON-serializable footer contents."""
+        return {
+            "schema": self.schema.to_dict(),
+            "num_rows": self.num_rows,
+            "row_groups": [rg.to_dict() for rg in self.row_groups],
+        }
+
+    @classmethod
+    def from_footer_dict(cls, raw: Dict[str, Any]) -> "PageFile":
+        return cls(
+            schema=Schema.from_dict(raw["schema"]),
+            num_rows=raw["num_rows"],
+            row_groups=[RowGroupMeta.from_dict(rg) for rg in raw["row_groups"]],
+        )
+
+
+def write_page_file(
+    schema: Schema,
+    columns: Dict[str, np.ndarray],
+    row_group_size: int = DEFAULT_ROW_GROUP_SIZE,
+) -> bytes:
+    """Serialize a column dict into page-file bytes."""
+    num_rows = schema.validate_columns(columns)
+    if row_group_size <= 0:
+        raise ValueError("row_group_size must be positive")
+    body = bytearray(MAGIC)
+    row_groups: List[RowGroupMeta] = []
+    starts = range(0, num_rows, row_group_size) if num_rows else [0]
+    for start in starts:
+        stop = min(start + row_group_size, num_rows)
+        group = RowGroupMeta(num_rows=stop - start)
+        for fld in schema:
+            values = columns[fld.name][start:stop]
+            payload = encode_column(fld, values)
+            group.chunks[fld.name] = ChunkMeta(
+                offset=len(body),
+                length=len(payload),
+                stats=compute_stats(fld, values),
+            )
+            body.extend(payload)
+        row_groups.append(group)
+    footer = json.dumps(
+        PageFile(schema=schema, num_rows=num_rows, row_groups=row_groups).to_footer_dict()
+    ).encode("utf-8")
+    body.extend(footer)
+    body.extend(struct.pack("<I", len(footer)))
+    body.extend(MAGIC)
+    return bytes(body)
+
+
+def read_footer(data: bytes) -> PageFile:
+    """Parse the footer of page-file bytes into a :class:`PageFile`."""
+    if len(data) < 12 or data[:4] != MAGIC or data[-4:] != MAGIC:
+        raise FileFormatError("not a page file (bad magic)")
+    (footer_len,) = struct.unpack_from("<I", data, len(data) - 8)
+    footer_start = len(data) - 8 - footer_len
+    if footer_start < 4:
+        raise FileFormatError("corrupt page file footer")
+    raw = json.loads(data[footer_start : footer_start + footer_len].decode("utf-8"))
+    return PageFile.from_footer_dict(raw)

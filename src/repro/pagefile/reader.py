@@ -1,0 +1,122 @@
+"""Reading page files, with projection, zone-map pruning and DV merging."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pagefile.deletion_vector import DeletionVector
+from repro.pagefile.encoding import decode_column
+from repro.pagefile.file_format import PageFile, read_footer
+
+
+class PageFileReader:
+    """Reads columns out of one page file's bytes.
+
+    ``prune`` predicates are ``(column, op, literal)`` triples checked
+    against row-group zone maps; a row group is skipped only when the
+    statistics prove no row can match.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._meta = read_footer(data)
+
+    @property
+    def meta(self) -> PageFile:
+        """The parsed footer."""
+        return self._meta
+
+    @property
+    def num_rows(self) -> int:
+        """Physical row count (before deletion-vector filtering)."""
+        return self._meta.num_rows
+
+    def read(
+        self,
+        columns: Optional[List[str]] = None,
+        prune: Optional[List[Tuple[str, str, Any]]] = None,
+        deletion_vector: Optional[DeletionVector] = None,
+        with_positions: bool = False,
+    ) -> Dict[str, np.ndarray]:
+        """Materialize the requested columns.
+
+        Rows marked deleted in ``deletion_vector`` are filtered out
+        (merge-on-read).  With ``with_positions`` the result additionally
+        carries a ``__pos__`` column of physical row positions, which the
+        delete/update path uses to build new deletion vectors.
+        """
+        wanted = list(columns) if columns is not None else self._meta.schema.names
+        parts: Dict[str, List[np.ndarray]] = {name: [] for name in wanted}
+        position_parts: List[np.ndarray] = []
+        row_start = 0
+        for group in self._meta.row_groups:
+            group_rows = group.num_rows
+            if self._skip_group(group, prune):
+                row_start += group_rows
+                continue
+            keep = self._keep_mask(deletion_vector, row_start, group_rows)
+            if keep is not None and not keep.any():
+                row_start += group_rows
+                continue
+            for name in wanted:
+                chunk = group.chunks[name]
+                fld = self._meta.schema.field(name)
+                values = decode_column(
+                    fld,
+                    self._data[chunk.offset : chunk.offset + chunk.length],
+                    group_rows,
+                )
+                parts[name].append(values[keep] if keep is not None else values)
+            if with_positions:
+                positions = np.arange(row_start, row_start + group_rows, dtype=np.int64)
+                position_parts.append(positions[keep] if keep is not None else positions)
+            row_start += group_rows
+        result = {
+            name: _concat(self._meta.schema.field(name).numpy_dtype, chunks)
+            for name, chunks in parts.items()
+        }
+        if with_positions:
+            result["__pos__"] = _concat(np.dtype(np.int64), position_parts)
+        return result
+
+    def live_row_count(self, deletion_vector: Optional[DeletionVector]) -> int:
+        """Row count after subtracting deleted rows."""
+        if deletion_vector is None:
+            return self._meta.num_rows
+        return self._meta.num_rows - deletion_vector.cardinality
+
+    def _skip_group(
+        self,
+        group: "RowGroupMeta",
+        prune: Optional[List[Tuple[str, str, Any]]],
+    ) -> bool:
+        if not prune:
+            return False
+        for column, op, literal in prune:
+            chunk = group.chunks.get(column)
+            if chunk is not None and not chunk.stats.may_contain(op, literal):
+                return True
+        return False
+
+    @staticmethod
+    def _keep_mask(
+        deletion_vector: Optional[DeletionVector], row_start: int, group_rows: int
+    ) -> Optional[np.ndarray]:
+        if deletion_vector is None or deletion_vector.cardinality == 0:
+            return None
+        deleted = deletion_vector.positions_in_range(row_start, row_start + group_rows)
+        if len(deleted) == 0:
+            return None
+        mask = np.ones(group_rows, dtype=bool)
+        mask[deleted - row_start] = False
+        return mask
+
+
+def _concat(dtype: np.dtype, chunks: List[np.ndarray]) -> np.ndarray:
+    if not chunks:
+        return np.empty(0, dtype=dtype)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)

@@ -1,0 +1,23 @@
+"""A SQL text interface over the plan and DML layers.
+
+The production system speaks full T-SQL; the reproduction's core exposes
+programmatic plans.  This package bridges the two with a small,
+well-tested SQL dialect so the warehouse can be driven the way a
+downstream user expects:
+
+* ``SELECT`` with joins (``JOIN … ON`` equi-conditions), ``WHERE`` (with
+  per-table predicate pushdown and zone-map prune extraction), aggregates
+  (``SUM/MIN/MAX/AVG/COUNT/COUNT(DISTINCT)``), ``GROUP BY``, ``HAVING``,
+  ``ORDER BY``, ``LIMIT``, ``CASE WHEN``, ``LIKE``, ``IN``, ``BETWEEN``,
+  ``DATE 'YYYY-MM-DD'`` literals;
+* ``INSERT INTO … VALUES``, ``DELETE FROM … WHERE``, ``UPDATE … SET``;
+* ``CREATE TABLE`` with ``DISTRIBUTION`` / ``SORT`` / ``UNIQUE`` options;
+* ``BEGIN`` / ``COMMIT`` / ``ROLLBACK``.
+
+Entry point: :func:`execute` (or ``repro.sql.connect``-style usage via
+``SqlSession``).
+"""
+
+from repro.sql.runner import SqlSession, execute
+
+__all__ = ["SqlSession", "execute"]

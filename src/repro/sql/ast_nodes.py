@@ -1,0 +1,182 @@
+"""Parse-tree nodes for the SQL dialect.
+
+These are *unbound*: column references may carry table qualifiers and
+aggregate functions are plain nodes.  The binder resolves them against the
+catalog into engine plans and expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SColumn:
+    """A (possibly qualified) column reference."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SLiteral:
+    """A constant."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class SBin:
+    """Binary arithmetic or comparison."""
+
+    op: str
+    left: "SExpr"
+    right: "SExpr"
+
+
+@dataclass(frozen=True)
+class SBool:
+    """AND / OR with two or more operands."""
+
+    op: str
+    args: Tuple["SExpr", ...]
+
+
+@dataclass(frozen=True)
+class SNot:
+    """NOT."""
+
+    arg: "SExpr"
+
+
+@dataclass(frozen=True)
+class SLike:
+    """LIKE pattern match."""
+
+    arg: "SExpr"
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SIn:
+    """IN literal list."""
+
+    arg: "SExpr"
+    values: Tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SBetween:
+    """BETWEEN lo AND hi (inclusive)."""
+
+    arg: "SExpr"
+    low: "SExpr"
+    high: "SExpr"
+
+
+@dataclass(frozen=True)
+class SCase:
+    """CASE WHEN cond THEN x ELSE y END."""
+
+    cond: "SExpr"
+    then: "SExpr"
+    orelse: "SExpr"
+
+
+@dataclass(frozen=True)
+class SFunc:
+    """A function call: aggregates, YEAR, SUBSTRING."""
+
+    name: str  # upper-cased
+    args: Tuple["SExpr", ...]
+    distinct: bool = False
+    star: bool = False  # COUNT(*)
+
+
+SExpr = object  # union of the above; kept loose for the recursive parser
+
+
+# -- statements -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output of a SELECT list."""
+
+    expr: SExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """``JOIN table ON a = b [AND c = d ...]``."""
+
+    table: str
+    left_keys: Tuple[SColumn, ...]
+    right_keys: Tuple[SColumn, ...]
+
+
+@dataclass
+class SelectStatement:
+    """A SELECT query."""
+
+    items: List[SelectItem]
+    table: str
+    joins: List[JoinSpec] = field(default_factory=list)
+    where: Optional[SExpr] = None
+    group_by: List[SColumn] = field(default_factory=list)
+    having: Optional[SExpr] = None
+    order_by: List[Tuple[str, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass
+class InsertStatement:
+    """INSERT INTO t (cols) VALUES (...), (...)."""
+
+    table: str
+    columns: List[str]
+    rows: List[List[Any]]
+
+
+@dataclass
+class DeleteStatement:
+    """DELETE FROM t WHERE ..."""
+
+    table: str
+    where: Optional[SExpr]
+
+
+@dataclass
+class UpdateStatement:
+    """UPDATE t SET c = e, ... WHERE ..."""
+
+    table: str
+    assignments: List[Tuple[str, SExpr]]
+    where: Optional[SExpr]
+
+
+@dataclass
+class CreateTableStatement:
+    """CREATE TABLE t (col type, ...) WITH (option = value, ...)."""
+
+    table: str
+    columns: List[Tuple[str, str]]
+    options: dict
+
+
+@dataclass
+class TransactionStatement:
+    """BEGIN / COMMIT / ROLLBACK."""
+
+    action: str  # "begin" | "commit" | "rollback"
+
+
+Statement = object  # union of the statement classes above

@@ -1,0 +1,101 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.common.errors import PolarisError
+
+
+class SqlSyntaxError(PolarisError):
+    """The statement text could not be tokenized or parsed."""
+
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "JOIN", "INNER", "ON", "AS", "AND", "OR", "NOT", "LIKE", "IN", "BETWEEN",
+    "CASE", "WHEN", "THEN", "ELSE", "END", "ASC", "DESC", "DISTINCT",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "CREATE", "TABLE",
+    "WITH", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "DATE", "NULL",
+    "TRUE", "FALSE", "SUM", "MIN", "MAX", "AVG", "COUNT", "YEAR", "SUBSTRING",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = ["<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", "*",
+              "+", "-", "/", ".", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split statement text into tokens; raises :class:`SqlSyntaxError`."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError(f"unterminated string at offset {i}")
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            yield Token("string", "".join(parts), i)
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            yield Token("number", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("keyword", upper, i)
+            else:
+                yield Token("ident", word, i)
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                yield Token("op", op, i)
+                i += len(op)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    yield Token("eof", "", n)

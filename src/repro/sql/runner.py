@@ -1,0 +1,152 @@
+"""Executing parsed SQL against a warehouse session."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.batch import Batch
+from repro.engine.expressions import Lit
+from repro.fe.catalog import describe_table, table_schema
+from repro.fe.session import Session
+from repro.pagefile.schema import Schema
+from repro.sql.ast_nodes import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    TransactionStatement,
+    UpdateStatement,
+)
+from repro.sql.binder import Binder
+from repro.sql.lexer import SqlSyntaxError
+from repro.sql.parser import parse
+
+
+class SqlSession:
+    """A session facade that executes SQL text.
+
+    >>> sql = SqlSession(warehouse.session())
+    >>> sql.execute("CREATE TABLE t (id bigint, v double)")
+    >>> sql.execute("INSERT INTO t (id, v) VALUES (1, 2.5), (2, 3.5)")
+    >>> sql.execute("SELECT id, v FROM t WHERE v > 3")
+    """
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    def execute(self, text: str):
+        """Run one statement; SELECTs return a batch, DML a row count."""
+        statement = parse(text)
+        if isinstance(statement, SelectStatement):
+            return self._select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._delete(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._update(statement)
+        if isinstance(statement, CreateTableStatement):
+            return self._create_table(statement)
+        if isinstance(statement, TransactionStatement):
+            return self._transaction(statement)
+        raise SqlSyntaxError(f"unsupported statement {statement!r}")
+
+    # -- statement kinds ------------------------------------------------------
+
+    def _schemas_for(self, tables: List[str]) -> Dict[str, Schema]:
+        txn = self.session._context.sqldb.begin()
+        try:
+            return {
+                name: table_schema(describe_table(txn, name)) for name in tables
+            }
+        finally:
+            txn.abort()
+
+    def _select(self, stmt: SelectStatement) -> Batch:
+        tables = [stmt.table] + [j.table for j in stmt.joins]
+        plan = Binder(self._schemas_for(tables)).bind_select(stmt)
+        return self.session.query(plan)
+
+    def _insert(self, stmt: InsertStatement) -> int:
+        schema = self._schemas_for([stmt.table])[stmt.table]
+        missing = [c for c in stmt.columns if c not in schema]
+        if missing:
+            raise SqlSyntaxError(f"unknown insert columns {missing}")
+        if set(stmt.columns) != set(schema.names):
+            raise SqlSyntaxError(
+                "INSERT must provide every column "
+                f"({schema.names}); got {stmt.columns}"
+            )
+        batch: Batch = {}
+        for index, column in enumerate(stmt.columns):
+            values = [row[index] for row in stmt.rows]
+            batch[column] = _coerce(schema.field(column).type, values)
+        return self.session.insert(stmt.table, batch)
+
+    def _delete(self, stmt: DeleteStatement) -> int:
+        binder = Binder(self._schemas_for([stmt.table]))
+        if stmt.where is None:
+            return self.session.delete(stmt.table, Lit(True))
+        predicate = binder._bind_expr(stmt.where, [stmt.table])
+        prune = []
+        from repro.sql.binder import _flatten_and
+
+        for conjunct in _flatten_and(stmt.where):
+            prune.extend(binder._prune_of(conjunct, [stmt.table]))
+        return self.session.delete(stmt.table, predicate, prune=prune)
+
+    def _update(self, stmt: UpdateStatement) -> int:
+        binder = Binder(self._schemas_for([stmt.table]))
+        assignments = {
+            column: binder._bind_expr(expr, [stmt.table])
+            for column, expr in stmt.assignments
+        }
+        predicate = (
+            binder._bind_expr(stmt.where, [stmt.table])
+            if stmt.where is not None
+            else Lit(True)
+        )
+        prune = []
+        if stmt.where is not None:
+            from repro.sql.binder import _flatten_and
+
+            for conjunct in _flatten_and(stmt.where):
+                prune.extend(binder._prune_of(conjunct, [stmt.table]))
+        return self.session.update(stmt.table, predicate, assignments, prune=prune)
+
+    def _create_table(self, stmt: CreateTableStatement) -> int:
+        schema = Schema.of(*stmt.columns)
+        sort = stmt.options.get("sort")
+        return self.session.create_table(
+            stmt.table,
+            schema,
+            distribution_column=stmt.options.get("distribution"),
+            sort_column=sort,
+            unique_column=stmt.options.get("unique"),
+        )
+
+    def _transaction(self, stmt: TransactionStatement):
+        if stmt.action == "begin":
+            self.session.begin()
+            return None
+        if stmt.action == "commit":
+            return self.session.commit()
+        self.session.rollback()
+        return None
+
+
+def execute(session: Session, text: str):
+    """One-shot convenience: ``execute(session, "SELECT ...")``."""
+    return SqlSession(session).execute(text)
+
+
+def _coerce(type_name: str, values: List[Any]) -> np.ndarray:
+    if type_name == "int64":
+        return np.array(values, dtype=np.int64)
+    if type_name == "float64":
+        return np.array([float(v) for v in values], dtype=np.float64)
+    if type_name == "bool":
+        return np.array(values, dtype=bool)
+    return np.array([str(v) for v in values], dtype=object)

@@ -1,0 +1,21 @@
+"""Embedded multi-version catalog engine (stand-in for Azure SQL DB).
+
+The FE commit protocol (Section 4.1) relies on SQL DB providing Snapshot
+Isolation over the ``Manifests`` and ``WriteSets`` system tables, a commit
+lock that serializes the validation step, and first-committer-wins
+write-write conflict detection.  This package implements that engine as an
+in-process multi-version key-value store with system-table schemas on top:
+
+* :mod:`mvcc` — version chains and visibility;
+* :mod:`transaction` — transaction objects with SI, RCSI and Serializable
+  read rules, read-your-own-writes and first-committer-wins validation;
+* :mod:`engine` — the engine facade, the commit lock and the global commit
+  sequence;
+* :mod:`system_tables` — the Polaris catalog schema (``Manifests``,
+  ``WriteSets``, ``Tables``, ``Checkpoints``).
+"""
+
+from repro.sqldb.engine import SqlDbEngine
+from repro.sqldb.transaction import IsolationLevel, SqlDbTransaction
+
+__all__ = ["IsolationLevel", "SqlDbEngine", "SqlDbTransaction"]

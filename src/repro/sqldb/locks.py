@@ -1,0 +1,41 @@
+"""The commit lock.
+
+Step 2 of the validation phase acquires a commit lock "to ensure a
+serializable order for the transaction to be committed" (Section 4.1.2).
+The simulation is single-threaded, so the lock's job here is protocol
+fidelity: it asserts the critical section is never re-entered (which would
+indicate a protocol bug, e.g. a commit triggering another commit) and
+records hold counts for instrumentation.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class CommitLock:
+    """Non-reentrant mutual exclusion over the commit critical section."""
+
+    def __init__(self) -> None:
+        self._holder: Optional[int] = None
+        self.acquisitions = 0
+
+    @contextmanager
+    def held(self, txid: int) -> Iterator[None]:
+        """Hold the lock for the duration of the ``with`` body."""
+        if self._holder is not None:
+            raise AssertionError(
+                f"commit lock re-entered: txn {txid} while held by {self._holder}"
+            )
+        self._holder = txid
+        self.acquisitions += 1
+        try:
+            yield
+        finally:
+            self._holder = None
+
+    @property
+    def is_held(self) -> bool:
+        """Whether the lock is currently held."""
+        return self._holder is not None

@@ -1,0 +1,93 @@
+"""Version chains and visibility rules.
+
+Every key maps to a chain of versions ordered by the global commit
+sequence.  A reader at sequence ``s`` sees the newest version with
+``commit_seq <= s``.  Deletes install a tombstone version, so visibility is
+uniform for inserts, updates and deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Sentinel value for deleted rows.  Distinct from None so callers can store
+#: None-valued payloads if they wish.
+TOMBSTONE = object()
+
+#: A row key: (table name, primary-key tuple).
+Key = Tuple[str, Tuple[Any, ...]]
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of a key."""
+
+    commit_seq: int
+    value: Any
+    #: Transaction id of the writer (kept for diagnostics / GC).
+    txid: int
+
+    @property
+    def is_tombstone(self) -> bool:
+        """Whether this version records a delete."""
+        return self.value is TOMBSTONE
+
+
+class VersionedStore:
+    """The multi-version heap shared by all transactions of one engine."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[Key, List[Version]] = {}
+
+    def install(self, key: Key, commit_seq: int, value: Any, txid: int) -> None:
+        """Append a committed version (commit sequences arrive in order)."""
+        chain = self._chains.setdefault(key, [])
+        if chain and chain[-1].commit_seq >= commit_seq:
+            raise AssertionError(
+                f"out-of-order install at {key}: {commit_seq} after "
+                f"{chain[-1].commit_seq}"
+            )
+        chain.append(Version(commit_seq=commit_seq, value=value, txid=txid))
+
+    def visible(self, key: Key, as_of_seq: int) -> Optional[Version]:
+        """Newest version of ``key`` with ``commit_seq <= as_of_seq``.
+
+        Returns None when the key did not exist at that sequence.  A
+        returned tombstone version means "existed then deleted".
+        """
+        chain = self._chains.get(key)
+        if not chain:
+            return None
+        # Chains are short (catalog rows change rarely); linear scan from the
+        # tail is faster than bisect for the common "latest" case.
+        for version in reversed(chain):
+            if version.commit_seq <= as_of_seq:
+                return version
+        return None
+
+    def latest(self, key: Key) -> Optional[Version]:
+        """The newest committed version regardless of sequence."""
+        chain = self._chains.get(key)
+        return chain[-1] if chain else None
+
+    def changed_since(self, key: Key, seq: int) -> bool:
+        """Whether any version of ``key`` committed after sequence ``seq``."""
+        chain = self._chains.get(key)
+        return bool(chain) and chain[-1].commit_seq > seq
+
+    def keys_of_table(self, table: str) -> Iterator[Key]:
+        """All keys ever written for ``table`` (any visibility)."""
+        for key in self._chains:
+            if key[0] == table:
+                yield key
+
+    def table_changed_since(self, table: str, seq: int) -> bool:
+        """Whether any key of ``table`` has a version newer than ``seq``.
+
+        Used for serializable-mode phantom protection at table scope.
+        """
+        return any(
+            self._chains[key][-1].commit_seq > seq
+            for key in self.keys_of_table(table)
+        )

@@ -1,0 +1,175 @@
+"""Garbage collection (Section 5.3).
+
+GC reconstructs every table's state from its full manifest list and sorts
+data/DV files into an *active* set (live files, and removed files still
+within retention) and an *inactive* set (removed files past retention).
+Zero-copy clones create shared lineage, so the sets are accumulated across
+all tables and a file in any active set is always retained.
+
+Files on storage in neither set are either private files of in-flight
+transactions or leftovers of aborted/failed ones.  The paper's rule
+distinguishes them by the creation stamp: a file stamped before the
+minimum begin timestamp of every currently executing transaction cannot
+belong to any of them and is safe to delete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.fe.context import ServiceContext
+from repro.sqldb import system_tables as catalog
+
+
+@dataclass
+class GcReport:
+    """What one garbage-collection run did."""
+
+    scanned: int = 0
+    active: int = 0
+    deleted_expired: List[str] = field(default_factory=list)
+    deleted_orphans: List[str] = field(default_factory=list)
+    retained_recent: List[str] = field(default_factory=list)
+
+    @property
+    def deleted_total(self) -> int:
+        """Total files physically deleted."""
+        return len(self.deleted_expired) + len(self.deleted_orphans)
+
+
+def run_garbage_collection(context: ServiceContext) -> GcReport:
+    """Run one GC pass over the deployment's internal storage."""
+    now = context.clock.now
+    retention = context.config.sto.retention_period_s
+    min_active_ts = context.sqldb.min_active_begin_ts()
+
+    active: Set[str] = set()
+    inactive: Set[str] = set()
+    stale_checkpoints = []  # (table_id, sequence_id, path)
+    stale_manifests = []  # (table_id, sequence_id)
+    manifest_refs: Dict[str, int] = {}
+    manifest_unrefs: Dict[str, int] = {}
+
+    txn = context.sqldb.begin()
+    try:
+        tables = catalog.list_tables(txn)
+        for table in tables:
+            table_id = table["table_id"]
+            rows = catalog.manifests_for_table(txn, table_id)
+            for row in rows:
+                manifest_refs[row["manifest_path"]] = (
+                    manifest_refs.get(row["manifest_path"], 0) + 1
+                )
+            # Manifest-log truncation: manifests fully covered by a
+            # checkpoint and older than the retention period can never be
+            # needed for any readable snapshot again.  (Clones share
+            # manifest files, so the blob itself is only deleted once no
+            # table references it — reference counts below.)
+            newest_ckpt = catalog.latest_checkpoint(
+                txn, table_id, context.sqldb.last_commit_seq
+            )
+            newest_seq = rows[-1]["sequence_id"] if rows else 0
+            for row in rows:
+                covered = (
+                    newest_ckpt is not None
+                    and row["sequence_id"] <= newest_ckpt["sequence_id"]
+                    # The newest manifest row is the table's visibility
+                    # anchor (it defines the current sequence); it is
+                    # never truncated.
+                    and row["sequence_id"] < newest_seq
+                )
+                if covered and row["committed_at"] + retention <= now:
+                    stale_manifests.append((table_id, row["sequence_id"]))
+                    manifest_unrefs[row["manifest_path"]] = (
+                        manifest_unrefs.get(row["manifest_path"], 0) + 1
+                    )
+                else:
+                    active.add(row["manifest_path"])
+            if rows:
+                snapshot = context.cache.get(table_id, rows[-1]["sequence_id"])
+                active.update(info.path for info in snapshot.files.values())
+                active.update(info.path for info in snapshot.dvs.values())
+                for tomb in snapshot.tombstones:
+                    if tomb.removed_at + retention <= now:
+                        inactive.add(tomb.path)
+                    else:
+                        active.add(tomb.path)
+            # Checkpoints: a checkpoint superseded by a newer one and
+            # older than the retention period can never serve a readable
+            # snapshot again.
+            checkpoints = catalog.checkpoints_for_table(txn, table_id)
+            for index, ckpt in enumerate(checkpoints):
+                superseded = index + 1 < len(checkpoints)
+                if superseded and ckpt["created_at"] + retention <= now:
+                    inactive.add(ckpt["path"])
+                    stale_checkpoints.append(
+                        (table_id, ckpt["sequence_id"], ckpt["path"])
+                    )
+                else:
+                    active.add(ckpt["path"])
+    finally:
+        txn.abort()
+
+    # A shared (cloned) manifest blob goes only when *every* referencing
+    # table has truncated it.
+    for path, removed in manifest_unrefs.items():
+        if removed >= manifest_refs.get(path, 0):
+            inactive.add(path)
+        else:
+            active.add(path)
+    inactive -= active
+
+    if stale_checkpoints or stale_manifests:
+        cleanup = context.sqldb.begin()
+        try:
+            for table_id, sequence_id, __ in stale_checkpoints:
+                cleanup.delete(catalog.CHECKPOINTS, (table_id, sequence_id))
+            for table_id, sequence_id in stale_manifests:
+                cleanup.delete(catalog.MANIFESTS, (table_id, sequence_id))
+            cleanup.commit()
+        except BaseException:
+            if cleanup.state.value == "active":
+                cleanup.abort()
+            raise
+        if stale_manifests:
+            # Cached snapshots may straddle the truncated prefix; drop them
+            # so every future reconstruction starts from a checkpoint.
+            context.cache.invalidate()
+
+    # Shared lineage: active wins over inactive.
+    inactive -= active
+
+    report = GcReport()
+    prefix = f"internal/{context.database}/tables/"
+    for blob in list(context.store.list(prefix)):
+        report.scanned += 1
+        if blob.path in active:
+            report.active += 1
+            continue
+        if blob.path in inactive:
+            context.store.delete(blob.path)
+            report.deleted_expired.append(blob.path)
+            continue
+        # Neither set: in-flight private file or aborted-transaction orphan.
+        created = _creation_stamp(blob)
+        if min_active_ts is None or created < min_active_ts:
+            context.store.delete(blob.path)
+            report.deleted_orphans.append(blob.path)
+        else:
+            report.retained_recent.append(blob.path)
+    context.bus.publish(
+        "gc.completed",
+        deleted=report.deleted_total,
+        orphans=len(report.deleted_orphans),
+        expired=len(report.deleted_expired),
+    )
+    return report
+
+
+def _creation_stamp(blob) -> float:
+    """The GC timestamp of a blob: creator txn begin time, else creation time."""
+    stamp = blob.metadata.get("creator_begin_ts")
+    if stamp is not None:
+        return float(stamp)
+    return blob.created_at

@@ -1,0 +1,193 @@
+"""The System Task Orchestrator: triggers and background operations.
+
+The STO "gathers input from multiple sources and executes actions based on
+specific triggers" (Section 5).  Inputs here are bus events:
+
+* ``txn.committed`` — feeds the checkpoint trigger (more than N manifests
+  since the last checkpoint → checkpoint now) and the Delta publisher.
+* ``stats.table`` — feeds the health monitor; a table crossing the
+  low-quality threshold schedules a compaction, which runs after a short
+  delay (the paper's "within a few minutes") on a subsequent event tick.
+
+Everything can also be driven manually (``run_compaction``, ``run_gc``,
+``run_checkpoint``) — tests and ablation benches use that mode with
+``enabled=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.events import Event
+from repro.engine.statistics import collect_stats
+from repro.fe.context import ServiceContext
+from repro.sqldb import system_tables as catalog
+from repro.sto.checkpointer import (
+    CheckpointResult,
+    manifests_since_checkpoint,
+    run_checkpoint,
+)
+from repro.sto.compaction import CompactionResult, run_compaction
+from repro.sto.gc import GcReport, run_garbage_collection
+from repro.sto.health import StorageHealthMonitor
+from repro.sto.publisher import DeltaPublisher
+from repro.sto.publisher_iceberg import IcebergPublisher
+
+
+class SystemTaskOrchestrator:
+    """Event-driven background optimization service."""
+
+    def __init__(self, context: ServiceContext, enabled: bool = True) -> None:
+        self._context = context
+        self.enabled = enabled
+        self.health = StorageHealthMonitor()
+        self.publisher = DeltaPublisher(context)
+        #: table_id -> simulated time the pending compaction becomes due.
+        self._pending_compactions: Dict[int, float] = {}
+        self._busy = False
+        self.compactions: List[CompactionResult] = []
+        self.checkpoints: List[CheckpointResult] = []
+        self.gc_reports: List[GcReport] = []
+        #: Publish committed manifests automatically.
+        self.auto_publish = False
+        #: Formats to publish in: Delta today (as in the paper), Iceberg as
+        #: the planned extension ("add different formats in the future").
+        self.publish_formats = {"delta"}
+        self.iceberg = IcebergPublisher(context)
+        context.bus.subscribe("txn.committed", self._on_commit)
+        context.bus.subscribe("stats.table", self._on_stats)
+
+    def rebind(self, context: ServiceContext) -> None:
+        """Reset trigger state after a restore replaced the catalog."""
+        self._context = context
+        self._pending_compactions.clear()
+
+    # -- event handlers -----------------------------------------------------------
+
+    def _on_commit(self, event: Event) -> None:
+        # Publishing is not an optimization: it runs on every commit, even
+        # while another STO action is in flight (it never commits anything
+        # itself, so it cannot recurse).
+        if self.auto_publish:
+            self._publish(event)
+        if not self.enabled or self._busy:
+            return
+        table_id = event.payload["table_id"]
+        self._busy = True
+        try:
+            threshold = self._context.config.sto.checkpoint_manifest_threshold
+            if manifests_since_checkpoint(self._context, table_id) >= threshold:
+                result = run_checkpoint(self._context, table_id)
+                if result is not None:
+                    self.checkpoints.append(result)
+            self._drain_compactions()
+        finally:
+            self._busy = False
+
+    def _on_stats(self, event: Event) -> None:
+        stats = event.payload["stats"]
+        self.health.observe(stats, self._context.clock.now)
+        if not self.enabled or self._busy:
+            return
+        trigger = self._context.config.sto.compaction_trigger_fraction
+        if (
+            not stats.healthy
+            and stats.low_quality_fraction >= trigger
+            and stats.table_id not in self._pending_compactions
+        ):
+            due = self._context.clock.now + self._context.config.sto.poll_interval_s
+            self._pending_compactions[stats.table_id] = due
+        self._busy = True
+        try:
+            self._drain_compactions()
+        finally:
+            self._busy = False
+
+    def _publish(self, event: Event) -> None:
+        table_id = event.payload["table_id"]
+        txn = self._context.sqldb.begin()
+        try:
+            table = catalog.get_table(txn, table_id)
+            rows = catalog.manifests_for_table(txn, table_id)
+        finally:
+            txn.abort()
+        if table is None or not rows:
+            return
+        last = rows[-1]
+        if "delta" in self.publish_formats:
+            self.publisher.publish_commit(
+                table["name"], table_id, last["manifest_path"], last["sequence_id"]
+            )
+        if "iceberg" in self.publish_formats:
+            self.iceberg.publish_commit(
+                table["name"], table_id, last["manifest_path"], last["sequence_id"]
+            )
+
+    # -- manual / periodic operations -------------------------------------------------
+
+    def _drain_compactions(self) -> None:
+        now = self._context.clock.now
+        due = [tid for tid, when in self._pending_compactions.items() if when <= now]
+        for table_id in sorted(due):
+            del self._pending_compactions[table_id]
+            self.run_compaction(table_id)
+
+    def tick(self) -> None:
+        """Run any due pending work (benchmark drivers call this)."""
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            self._drain_compactions()
+        finally:
+            self._busy = False
+
+    def schedule_periodic_gc(self, interval_s: Optional[float] = None) -> None:
+        """Run garbage collection every ``interval_s`` of simulated time.
+
+        Uses the clock's watcher mechanism: each firing re-arms the next
+        one, so GC keeps up with the simulation without a real event loop.
+        """
+        interval = (
+            interval_s
+            if interval_s is not None
+            else self._context.config.sto.retention_period_s / 2
+        )
+        clock = self._context.clock
+
+        def fire(now: float) -> None:
+            if self.enabled and not self._busy:
+                self.run_gc()
+            clock.call_at(now + interval, fire)
+
+        clock.call_at(clock.now + interval, fire)
+
+    def run_compaction(self, table_id: int) -> CompactionResult:
+        """Compact one table now; records the result and fresh health stats."""
+        result = run_compaction(self._context, table_id)
+        self.compactions.append(result)
+        if result.committed and result.files_rewritten:
+            snapshot = self._context.cache.get(
+                table_id, self._context.sqldb.last_commit_seq
+            )
+            stats = collect_stats(table_id, snapshot, self._context.config.sto)
+            self.health.observe(stats, self._context.clock.now)
+        return result
+
+    def run_checkpoint(self, table_id: int) -> Optional[CheckpointResult]:
+        """Checkpoint one table now."""
+        result = run_checkpoint(self._context, table_id)
+        if result is not None:
+            self.checkpoints.append(result)
+        return result
+
+    def run_gc(self) -> GcReport:
+        """Garbage-collect the deployment now."""
+        report = run_garbage_collection(self._context)
+        self.gc_reports.append(report)
+        return report
+
+    @property
+    def pending_compactions(self) -> Dict[int, float]:
+        """Tables queued for compaction and their due times."""
+        return dict(self._pending_compactions)

@@ -1,0 +1,125 @@
+"""Async read snapshots: publishing Delta-format metadata (Section 5.4).
+
+After each commit, the STO transforms the committed manifest into a Delta
+Lake commit file under the table's user-accessible ``_delta_log`` folder.
+The data files themselves are never copied — a *shortcut* descriptor maps
+the published location onto the internal data folder, so other engines
+(Spark, etc.) read the same bytes.  Polaris's internal manifest format is
+close to Delta's, so the transformation is a direct mapping of actions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fe.context import ServiceContext
+from repro.fe.manifest_io import load_manifest_actions
+from repro.lst.actions import (
+    AddDataFile,
+    AddDeletionVector,
+    RemoveDataFile,
+    RemoveDeletionVector,
+)
+from repro.storage import paths
+
+
+@dataclass
+class PublishedVersion:
+    """One Delta commit published for a table."""
+
+    table_name: str
+    version: int
+    path: str
+    sequence_id: int
+
+
+class DeltaPublisher:
+    """Publishes committed manifests as Delta commit files."""
+
+    def __init__(self, context: ServiceContext) -> None:
+        self._context = context
+        self._versions: Dict[str, int] = {}
+        self.published: List[PublishedVersion] = []
+
+    def publish_commit(
+        self, table_name: str, table_id: int, manifest_path: str, sequence_id: int
+    ) -> PublishedVersion:
+        """Transform one committed manifest into a Delta commit file."""
+        context = self._context
+        actions = load_manifest_actions(context, manifest_path)
+        version = self._versions.get(table_name, -1) + 1
+        lines = [
+            json.dumps(
+                {
+                    "commitInfo": {
+                        "timestamp": context.clock.now,
+                        "operation": "WRITE",
+                        "polarisSequenceId": sequence_id,
+                    }
+                },
+                separators=(",", ":"),
+            )
+        ]
+        for action in actions:
+            lines.append(json.dumps(_to_delta(action), separators=(",", ":")))
+        path = paths.published_delta_log_path(context.database, table_name, version)
+        context.store.put(path, ("\n".join(lines) + "\n").encode("utf-8"))
+        self._ensure_shortcut(table_name, table_id)
+        self._versions[table_name] = version
+        record = PublishedVersion(
+            table_name=table_name,
+            version=version,
+            path=path,
+            sequence_id=sequence_id,
+        )
+        self.published.append(record)
+        return record
+
+    def _ensure_shortcut(self, table_name: str, table_id: int) -> None:
+        """Map the published location onto the internal data folder once."""
+        context = self._context
+        path = paths.published_shortcut_path(context.database, table_name)
+        if context.store.exists(path):
+            return
+        shortcut = {
+            "target": paths.table_root(context.database, table_id),
+            "type": "onelake-shortcut",
+        }
+        context.store.put(path, json.dumps(shortcut).encode("utf-8"))
+
+
+def _to_delta(action) -> dict:
+    """Map one manifest action to its Delta-log JSON form."""
+    if isinstance(action, AddDataFile):
+        return {
+            "add": {
+                "path": action.file.path,
+                "size": action.file.size_bytes,
+                "stats": {"numRecords": action.file.num_rows},
+                "dataChange": True,
+            }
+        }
+    if isinstance(action, RemoveDataFile):
+        return {"remove": {"path": action.file.path, "dataChange": True}}
+    if isinstance(action, AddDeletionVector):
+        return {
+            "add": {
+                "path": action.dv.target_file,
+                "deletionVector": {
+                    "storagePath": action.dv.path,
+                    "cardinality": action.dv.cardinality,
+                },
+                "dataChange": True,
+            }
+        }
+    if isinstance(action, RemoveDeletionVector):
+        return {
+            "remove": {
+                "path": action.dv.target_file,
+                "deletionVector": {"storagePath": action.dv.path},
+                "dataChange": True,
+            }
+        }
+    raise TypeError(f"unknown action {action!r}")

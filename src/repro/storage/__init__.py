@@ -1,0 +1,21 @@
+"""Simulated cloud object store (stand-in for OneLake / ADLS Gen2).
+
+The transactional protocol in the paper depends on exactly two storage
+properties, both reproduced here:
+
+* **Immutability** — committed blobs are never modified in place; writers
+  create new blobs (data files, manifest files) instead.
+* **Block-blob staging semantics** — writers stage named blocks that remain
+  invisible until a single *commit block list* call makes a chosen subset
+  visible atomically; blocks not named in the final list are discarded
+  (Section 3.2.2 of the paper).
+
+The store also carries a latency/cost model and fault injection so the DCP
+can simulate realistic IO times and task retries.
+"""
+
+from repro.storage.block_blob import BlockBlobClient
+from repro.storage.metering import IoMeter
+from repro.storage.object_store import Blob, ObjectStore
+
+__all__ = ["Blob", "BlockBlobClient", "IoMeter", "ObjectStore"]

@@ -1,0 +1,43 @@
+"""Fault injection for storage requests.
+
+The Polaris DCP's resilience story (Section 4.3: task restart, stale-block
+discard, garbage collection of orphans) is only testable if the substrate
+can actually fail.  :class:`FaultInjector` fails a configurable fraction of
+requests with :class:`~repro.common.errors.TransientStorageError`, from a
+seeded PRNG so failures are reproducible.  Tests can also arm targeted
+one-shot failures matched by path substring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.common.config import StorageConfig
+from repro.common.errors import TransientStorageError
+
+
+class FaultInjector:
+    """Decides, per request, whether to raise a transient fault."""
+
+    def __init__(self, config: StorageConfig) -> None:
+        self._rate = config.transient_failure_rate
+        self._rng = random.Random(config.failure_seed)
+        #: (path substring, operation-or-None) patterns that fail exactly once.
+        self._armed: List[Tuple[str, str | None]] = []
+
+    def arm(self, path_substring: str, operation: str | None = None) -> None:
+        """Arm a one-shot failure for the next matching request."""
+        self._armed.append((path_substring, operation))
+
+    def check(self, operation: str, path: str) -> None:
+        """Raise :class:`TransientStorageError` if this request must fail."""
+        for index, (substring, wanted_op) in enumerate(self._armed):
+            op_matches = wanted_op is None or wanted_op == operation
+            if substring in path and op_matches:
+                del self._armed[index]
+                raise TransientStorageError(
+                    f"injected one-shot fault: {operation} {path}"
+                )
+        if self._rate > 0 and self._rng.random() < self._rate:
+            raise TransientStorageError(f"injected random fault: {operation} {path}")

@@ -1,0 +1,56 @@
+"""Latency model for the simulated object store.
+
+Each request costs a fixed round-trip plus a per-MiB transfer term, charged
+to the shared :class:`~repro.common.clock.SimulatedClock`.  This is the
+standard first-order model for cloud object stores and is sufficient for
+the shapes reproduced in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimulatedClock
+from repro.common.config import StorageConfig
+from repro.common.units import mib
+
+
+class LatencyModel:
+    """Charges simulated time for storage requests.
+
+    Charging can be *suspended* (see :meth:`suspended`): while the DCP
+    executes a task DAG it models IO time inside per-node timelines, so the
+    store must not also advance the shared clock per request — that would
+    serialize time that is logically parallel.
+    """
+
+    def __init__(self, clock: SimulatedClock, config: StorageConfig) -> None:
+        self._clock = clock
+        self._config = config
+        self._suspended = 0
+
+    def charge(self, transferred_bytes: int = 0) -> float:
+        """Advance the clock by the cost of one request; return the cost."""
+        cost = self.cost_of(transferred_bytes)
+        if self._suspended == 0:
+            self._clock.advance(cost)
+        return cost
+
+    def suspend(self) -> None:
+        """Stop charging the shared clock (nestable)."""
+        self._suspended += 1
+
+    def resume(self) -> None:
+        """Undo one :meth:`suspend`."""
+        if self._suspended == 0:
+            raise AssertionError("latency model resumed more times than suspended")
+        self._suspended -= 1
+
+    def cost_of(self, transferred_bytes: int = 0) -> float:
+        """Return the cost of a request without advancing the clock.
+
+        Used by the DCP cost model when estimating task runtimes that are
+        then charged in bulk on a per-node timeline.
+        """
+        return (
+            self._config.request_latency_s
+            + self._config.per_mib_latency_s * mib(transferred_bytes)
+        )

@@ -1,0 +1,239 @@
+"""The in-process object store.
+
+Models the subset of OneLake/ADLS behaviour that the Polaris transaction
+protocol relies on:
+
+* flat namespace of blobs addressed by path, with prefix listing;
+* immutable single-shot writes (``put``) for data files and checkpoints;
+* block-blob staging (see :mod:`repro.storage.block_blob`) for manifest
+  files that are written concurrently by many BE nodes;
+* per-blob creation timestamps and creator metadata, which the garbage
+  collector uses to distinguish orphans of aborted transactions from files
+  of in-flight transactions (Section 5.3 of the paper);
+* a latency model and fault injector shared by all requests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.clock import SimulatedClock
+from repro.common.config import StorageConfig
+from repro.common.errors import (
+    BlobAlreadyExistsError,
+    BlobNotFoundError,
+    BlockNotStagedError,
+    EtagMismatchError,
+)
+from repro.storage.failures import FaultInjector
+from repro.storage.latency import LatencyModel
+from repro.storage.metering import IoMeter
+
+
+@dataclass
+class Blob:
+    """A committed blob: its bytes plus bookkeeping metadata."""
+
+    path: str
+    data: bytes
+    etag: int
+    created_at: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Size of the committed content in bytes."""
+        return len(self.data)
+
+
+@dataclass
+class _BlockState:
+    """Staged and committed blocks backing one block blob."""
+
+    staged: Dict[str, bytes] = field(default_factory=dict)
+    committed: Dict[str, bytes] = field(default_factory=dict)
+    committed_order: List[str] = field(default_factory=list)
+
+
+class ObjectStore:
+    """Deterministic in-memory object store with ADLS-like semantics."""
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        config: Optional[StorageConfig] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.config = config or StorageConfig()
+        self.meter = IoMeter()
+        self.faults = FaultInjector(self.config)
+        self._latency = LatencyModel(self.clock, self.config)
+        self._blobs: Dict[str, Blob] = {}
+        self._blocks: Dict[str, _BlockState] = {}
+        self._etag_counter = 0
+
+    @contextmanager
+    def latency_suspended(self) -> Iterator[None]:
+        """Suspend per-request clock charging for the ``with`` body.
+
+        The DCP wraps task execution in this: it accounts IO time inside
+        per-node simulated timelines instead, so the shared clock must not
+        also advance per request (that would serialize parallel IO).
+        """
+        self._latency.suspend()
+        try:
+            yield
+        finally:
+            self._latency.resume()
+
+    # -- single-shot immutable blobs ---------------------------------------
+
+    def put(
+        self,
+        path: str,
+        data: bytes,
+        metadata: Optional[Dict[str, str]] = None,
+        overwrite: bool = False,
+    ) -> Blob:
+        """Create an immutable blob.
+
+        Raises :class:`BlobAlreadyExistsError` if the path exists, unless
+        ``overwrite`` is set (used only for republishing metadata files).
+        """
+        self.faults.check("put", path)
+        self._latency.charge(len(data))
+        self.meter.record("put", written_bytes=len(data))
+        if path in self._blobs and not overwrite:
+            raise BlobAlreadyExistsError(path)
+        blob = Blob(
+            path=path,
+            data=data,
+            etag=self._next_etag(),
+            created_at=self.clock.now,
+            metadata=dict(metadata or {}),
+        )
+        self._blobs[path] = blob
+        return blob
+
+    def get(self, path: str) -> Blob:
+        """Fetch a committed blob; raises :class:`BlobNotFoundError`."""
+        self.faults.check("get", path)
+        blob = self._blobs.get(path)
+        if blob is None:
+            raise BlobNotFoundError(path)
+        self._latency.charge(blob.size)
+        self.meter.record("get", read_bytes=blob.size)
+        return blob
+
+    def head(self, path: str) -> Blob:
+        """Fetch blob metadata without charging a transfer cost."""
+        self.faults.check("head", path)
+        self._latency.charge(0)
+        self.meter.record("head")
+        blob = self._blobs.get(path)
+        if blob is None:
+            raise BlobNotFoundError(path)
+        return blob
+
+    def exists(self, path: str) -> bool:
+        """Whether a committed blob exists at ``path``."""
+        self.meter.record("head")
+        return path in self._blobs
+
+    def delete(self, path: str, if_etag: Optional[int] = None) -> None:
+        """Delete a committed blob (idempotent for missing paths)."""
+        self.faults.check("delete", path)
+        self._latency.charge(0)
+        self.meter.record("delete")
+        blob = self._blobs.get(path)
+        if blob is None:
+            return
+        if if_etag is not None and blob.etag != if_etag:
+            raise EtagMismatchError(path)
+        del self._blobs[path]
+        self._blocks.pop(path, None)
+
+    def list(self, prefix: str = "") -> Iterator[Blob]:
+        """Iterate committed blobs whose path starts with ``prefix``."""
+        self.faults.check("list", prefix)
+        self._latency.charge(0)
+        self.meter.record("list")
+        for path in sorted(self._blobs):
+            if path.startswith(prefix):
+                yield self._blobs[path]
+
+    # -- block blob API (manifest files) ------------------------------------
+
+    def stage_block(self, path: str, block_id: str, data: bytes) -> None:
+        """Stage a named block against ``path`` without making it visible.
+
+        Multiple writers (BE nodes) stage blocks concurrently; staging never
+        conflicts.  Staged blocks are invisible to :meth:`get` until a
+        :meth:`commit_block_list` names them.
+        """
+        self.faults.check("stage_block", path)
+        self._latency.charge(len(data))
+        self.meter.record("stage_block", written_bytes=len(data))
+        state = self._blocks.setdefault(path, _BlockState())
+        state.staged[block_id] = data
+
+    def staged_block_ids(self, path: str) -> List[str]:
+        """Ids of currently staged (uncommitted) blocks for ``path``."""
+        state = self._blocks.get(path)
+        return sorted(state.staged) if state else []
+
+    def commit_block_list(
+        self,
+        path: str,
+        block_ids: List[str],
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> Blob:
+        """Atomically set the blob's content to the named blocks, in order.
+
+        Each id may name a staged block or a previously committed block
+        (this is how the FE *appends* to a transaction manifest across
+        statements: it re-commits the old ids plus the new ones).  All
+        staged blocks not named are discarded — exactly the property that
+        lets the DCP restart failed tasks without corrupting the manifest.
+        """
+        self.faults.check("commit_block_list", path)
+        state = self._blocks.setdefault(path, _BlockState())
+        new_committed: Dict[str, bytes] = {}
+        for block_id in block_ids:
+            if block_id in state.staged:
+                new_committed[block_id] = state.staged[block_id]
+            elif block_id in state.committed:
+                new_committed[block_id] = state.committed[block_id]
+            else:
+                raise BlockNotStagedError(f"{path}: block {block_id!r}")
+        if len(set(block_ids)) != len(block_ids):
+            raise BlockNotStagedError(f"{path}: duplicate block id in commit list")
+        state.committed = new_committed
+        state.committed_order = list(block_ids)
+        state.staged = {}
+        data = b"".join(new_committed[block_id] for block_id in block_ids)
+        self._latency.charge(0)
+        self.meter.record("commit_block_list", written_bytes=0)
+        existing = self._blobs.get(path)
+        blob = Blob(
+            path=path,
+            data=data,
+            etag=self._next_etag(),
+            created_at=existing.created_at if existing else self.clock.now,
+            metadata=dict(metadata or (existing.metadata if existing else {})),
+        )
+        self._blobs[path] = blob
+        return blob
+
+    def committed_block_ids(self, path: str) -> List[str]:
+        """The ordered block ids of the last commit for ``path``."""
+        state = self._blocks.get(path)
+        return list(state.committed_order) if state else []
+
+    # -- internals ----------------------------------------------------------
+
+    def _next_etag(self) -> int:
+        self._etag_counter += 1
+        return self._etag_counter

@@ -1,0 +1,48 @@
+"""Path layout conventions inside the simulated OneLake account.
+
+Mirrors Section 5.4 of the paper: each table has a dedicated internal data
+folder, manifests live beside the data, and published (Delta-format)
+metadata goes to a user-accessible location.
+"""
+
+from __future__ import annotations
+
+
+def table_root(database: str, table_id: int) -> str:
+    """Internal root folder for a table's data and physical metadata."""
+    return f"internal/{database}/tables/{table_id}"
+
+
+def data_file_path(database: str, table_id: int, file_name: str) -> str:
+    """Path of a Parquet-stand-in data file."""
+    return f"{table_root(database, table_id)}/data/{file_name}"
+
+
+def dv_file_path(database: str, table_id: int, file_name: str) -> str:
+    """Path of a deletion-vector file."""
+    return f"{table_root(database, table_id)}/dv/{file_name}"
+
+
+def manifest_path(database: str, table_id: int, manifest_name: str) -> str:
+    """Path of a transaction manifest file."""
+    return f"{table_root(database, table_id)}/_manifests/{manifest_name}.json"
+
+
+def checkpoint_path(database: str, table_id: int, sequence_id: int) -> str:
+    """Path of a manifest checkpoint covering sequences ``<= sequence_id``."""
+    return f"{table_root(database, table_id)}/_checkpoints/{sequence_id:012d}.checkpoint.json"
+
+
+def published_root(database: str, table_name: str) -> str:
+    """User-accessible location where Delta-format snapshots are published."""
+    return f"published/{database}/{table_name}"
+
+
+def published_delta_log_path(database: str, table_name: str, version: int) -> str:
+    """Path of a published Delta commit file (``_delta_log/NNN.json``)."""
+    return f"{published_root(database, table_name)}/_delta_log/{version:020d}.json"
+
+
+def published_shortcut_path(database: str, table_name: str) -> str:
+    """Path of the OneLake shortcut mapping the internal data folder."""
+    return f"{published_root(database, table_name)}/_shortcut.json"

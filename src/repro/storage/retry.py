@@ -1,0 +1,33 @@
+"""Retry policy for FE-side storage operations.
+
+BE-side storage faults are handled by the DCP's task-level retry
+(Section 4.3).  Operations the FE itself issues against the object store —
+manifest flushes, checkpoint reads, metadata loads — sit outside any task,
+so they carry their own bounded retry against transient faults, as any
+production front end would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.common.errors import TransientStorageError
+
+T = TypeVar("T")
+
+DEFAULT_ATTEMPTS = 5
+
+
+def with_retries(operation: Callable[[], T], attempts: int = DEFAULT_ATTEMPTS) -> T:
+    """Run ``operation``, retrying on :class:`TransientStorageError`.
+
+    Re-raises the last error once ``attempts`` are exhausted.
+    """
+    last: TransientStorageError | None = None
+    for __ in range(attempts):
+        try:
+            return operation()
+        except TransientStorageError as exc:
+            last = exc
+    assert last is not None
+    raise last

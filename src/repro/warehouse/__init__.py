@@ -1,0 +1,5 @@
+"""Public facade: :class:`Warehouse` wires the whole system together."""
+
+from repro.warehouse.warehouse import Warehouse
+
+__all__ = ["Warehouse"]

@@ -1,0 +1,78 @@
+"""The Warehouse: one Polaris deployment.
+
+A :class:`Warehouse` bundles the simulated cloud substrate (object store,
+compute topology), the SQL DB catalog, the FE transaction manager and the
+System Task Orchestrator into one object with the API a downstream user
+adopts:
+
+>>> from repro import Warehouse, Schema
+>>> dw = Warehouse()
+>>> session = dw.session()
+>>> session.create_table("t", Schema.of(("id", "int64"), ("v", "float64")))
+
+See ``examples/quickstart.py`` for a full tour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import PolarisConfig
+from repro.fe.backup import create_backup, restore_backup
+from repro.fe.context import ServiceContext
+from repro.fe.session import Session
+from repro.sto.orchestrator import SystemTaskOrchestrator
+
+
+class Warehouse:
+    """A complete warehouse instance over a fresh simulated deployment."""
+
+    def __init__(
+        self,
+        database: str = "dw",
+        config: Optional[PolarisConfig] = None,
+        elastic: bool = True,
+        separate_pools: bool = True,
+        auto_optimize: bool = True,
+    ) -> None:
+        self.context = ServiceContext.create(
+            database=database,
+            config=config,
+            elastic=elastic,
+            separate_pools=separate_pools,
+        )
+        self.sto = SystemTaskOrchestrator(self.context, enabled=auto_optimize)
+
+    # -- sessions ----------------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new user session."""
+        return Session(self.context)
+
+    # -- operations teams care about ------------------------------------------------
+
+    def backup(self) -> bytes:
+        """Zero-data-copy backup of the logical metadata (Section 6.3)."""
+        return create_backup(self.context)
+
+    def restore(self, backup: bytes, as_of: Optional[float] = None) -> None:
+        """Restore from a backup, optionally to a point in time."""
+        restore_backup(self.context, backup, as_of=as_of)
+        self.sto.rebind(self.context)
+
+    # -- convenience passthroughs ------------------------------------------------------
+
+    @property
+    def clock(self):
+        """The deployment's simulated clock."""
+        return self.context.clock
+
+    @property
+    def store(self):
+        """The deployment's object store."""
+        return self.context.store
+
+    @property
+    def config(self) -> PolarisConfig:
+        """The deployment's configuration."""
+        return self.context.config

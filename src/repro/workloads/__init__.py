@@ -1,0 +1,8 @@
+"""Benchmark workloads: TPC-H, a TPC-DS subset, and LST-Bench drivers.
+
+All generators are seeded and micro-scaled: they preserve the official
+schemas, value domains, join graph and skew of the benchmarks while
+producing laptop-sized row counts.  The paper's absolute numbers come from
+a production datacenter; the benchmark harness reproduces *shapes*, for
+which relative row counts are what matters.
+"""

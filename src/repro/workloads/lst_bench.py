@@ -1,0 +1,330 @@
+"""LST-Bench workload drivers (Section 7.3, 7.4).
+
+LST-Bench [25] structures mixed workloads into *phases*:
+
+* **SU (Single User)** — a power run of read queries.  The official WP1
+  runs the 99 TPC-DS queries; the reproduction runs a proxy set of
+  channel-family queries (category rollups, returns joins, top-customer
+  rankings) — the substitution preserves what the experiments measure
+  (scan cost as a function of storage health), not query-optimizer
+  coverage.
+* **DM (Data Maintenance)** — per table: 2 INSERT statements, 6 DELETE
+  statements, and data compaction twice, once between each set of 3
+  DELETEs — exactly the statement mix the paper says creates 10 manifests
+  per table per phase (Figure 11).
+* **Optimize** — explicit compaction of every table.
+
+``WP1`` alternates SU and DM (Figures 10 and 11); ``WP3`` runs SU
+concurrently with DM and with Optimize (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.expressions import BinOp, Col, Lit, and_
+from repro.engine.planner import Aggregate, Join, Limit, Plan, Sort, TableScan
+from repro.warehouse import Warehouse
+from repro.workloads.tpcds.generator import TpcdsGenerator
+from repro.workloads.tpcds.schema import (
+    MAX_DATE_SK,
+    MIN_DATE_SK,
+    PREFIX,
+    TPCDS_DISTRIBUTION,
+    TPCDS_FAMILIES,
+    TPCDS_SCHEMAS,
+)
+
+
+@dataclass
+class PhaseResult:
+    """Timing of one workload phase."""
+
+    name: str
+    started_at: float
+    finished_at: float
+    statements: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated duration of the phase."""
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class SuResult(PhaseResult):
+    """A Single User phase with per-query timings."""
+
+    query_times: List[Tuple[str, float]] = field(default_factory=list)
+
+
+class LstBenchRunner:
+    """Drives LST-Bench phases against one warehouse."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        scale_factor: float = 0.5,
+        seed: int = 7,
+        source_files_per_table: int = 4,
+    ) -> None:
+        self.warehouse = warehouse
+        self.session = warehouse.session()
+        self.generator = TpcdsGenerator(scale_factor=scale_factor, seed=seed)
+        self._source_files = source_files_per_table
+        self._dm_round = 0
+        self.table_ids: Dict[str, int] = {}
+
+    # -- setup -------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Create and load every table of the subset."""
+        tables = self.generator.all_tables()
+        for name, batch in tables.items():
+            table_id = self.session.create_table(
+                name, TPCDS_SCHEMAS[name], TPCDS_DISTRIBUTION[name]
+            )
+            self.table_ids[name] = table_id
+            chunks = self._chunk(batch, self._source_files)
+            self.session.bulk_load(name, chunks)
+
+    @staticmethod
+    def _chunk(batch, pieces: int):
+        total = len(next(iter(batch.values())))
+        per = max(1, (total + pieces - 1) // pieces)
+        return [
+            {k: v[i : i + per] for k, v in batch.items()}
+            for i in range(0, total, per)
+        ]
+
+    # -- Single User phase -----------------------------------------------------
+
+    def su_queries(self) -> List[Tuple[str, Plan]]:
+        """The proxy power-run query set: three queries per channel family."""
+        queries: List[Tuple[str, Plan]] = []
+        for sales, returns in TPCDS_FAMILIES:
+            sp, rp = PREFIX[sales], PREFIX[returns]
+            by_category = Sort(
+                Aggregate(
+                    Join(
+                        TableScan(sales, (f"{sp}_item_sk", f"{sp}_sales_price")),
+                        TableScan("item", ("i_item_sk", "i_category")),
+                        (f"{sp}_item_sk",),
+                        ("i_item_sk",),
+                    ),
+                    ("i_category",),
+                    {"revenue": ("sum", Col(f"{sp}_sales_price"))},
+                ),
+                (("revenue", False),),
+            )
+            returns_join = Aggregate(
+                Join(
+                    TableScan(
+                        returns,
+                        (f"{rp}_ticket_number", f"{rp}_item_sk", f"{rp}_return_amt"),
+                    ),
+                    TableScan(
+                        sales,
+                        (f"{sp}_ticket_number", f"{sp}_item_sk", f"{sp}_sales_price"),
+                    ),
+                    (f"{rp}_ticket_number", f"{rp}_item_sk"),
+                    (f"{sp}_ticket_number", f"{sp}_item_sk"),
+                ),
+                (),
+                {
+                    "returned": ("sum", Col(f"{rp}_return_amt")),
+                    "sold": ("sum", Col(f"{sp}_sales_price")),
+                },
+            )
+            top_customers = Limit(
+                Sort(
+                    Aggregate(
+                        TableScan(sales, (f"{sp}_customer_sk", f"{sp}_net_profit")),
+                        (f"{sp}_customer_sk",),
+                        {"profit": ("sum", Col(f"{sp}_net_profit"))},
+                    ),
+                    (("profit", False),),
+                ),
+                10,
+            )
+            queries.append((f"{sales}:by_category", by_category))
+            queries.append((f"{sales}:returns_join", returns_join))
+            queries.append((f"{sales}:top_customers", top_customers))
+        return queries
+
+    def run_single_user(self, label: str = "SU") -> SuResult:
+        """Run one SU power run; returns per-query and phase timing."""
+        clock = self.warehouse.clock
+        result = SuResult(name=label, started_at=clock.now, finished_at=clock.now)
+        for name, plan in self.su_queries():
+            t0 = clock.now
+            self.session.query(plan)
+            result.query_times.append((name, clock.now - t0))
+            result.statements += 1
+        result.finished_at = clock.now
+        return result
+
+    # -- Data Maintenance phase ----------------------------------------------------
+
+    def dm_statements(self) -> List[Tuple[str, Callable[[], None]]]:
+        """The DM phase as labeled statements (WP3 interleaves them).
+
+        Per table: 2 INSERTs, then 3 DELETEs, compaction, 3 DELETEs,
+        compaction — the 10-manifest pattern of Figure 11.  Families run in
+        catalog → store → web order, as in the paper.
+        """
+        round_index = self._dm_round
+        statements: List[Tuple[str, Callable[[], None]]] = []
+        span = (MAX_DATE_SK - MIN_DATE_SK) // 40
+        for sales, returns in TPCDS_FAMILIES:
+            for table in (sales, returns):
+                statements.extend(
+                    self._table_dm_statements(table, sales, round_index, span)
+                )
+        self._dm_round += 1
+        return statements
+
+    def _table_dm_statements(
+        self, table: str, sales: str, round_index: int, span: int
+    ) -> List[Tuple[str, Callable[[], None]]]:
+        prefix = PREFIX[table]
+        date_col = (
+            f"{prefix}_sold_date_sk"
+            if table == sales
+            else f"{prefix}_returned_date_sk"
+        )
+        inserts = []
+        base_rows = max(50, self.generator.rows(table) // 20)
+        new_date = MAX_DATE_SK + round_index * 60
+
+        def make_insert(offset: int) -> Callable[[], None]:
+            def stmt() -> None:
+                if table == sales:
+                    batch = self.generator.incremental_sales(
+                        table, base_rows, new_date + offset * 30
+                    )
+                else:
+                    batch = self.generator.incremental_returns(
+                        table, base_rows, new_date + offset * 30
+                    )
+                self.session.insert(table, batch)
+
+            return stmt
+
+        inserts = [
+            (f"{table}:insert{i}", make_insert(i)) for i in range(2)
+        ]
+
+        def make_delete(slice_index: int) -> Callable[[], None]:
+            lo = MIN_DATE_SK + (round_index * 6 + slice_index) * span
+            hi = lo + span
+
+            def stmt() -> None:
+                self.session.delete(
+                    table,
+                    and_(
+                        BinOp(">=", Col(date_col), Lit(lo)),
+                        BinOp("<", Col(date_col), Lit(hi)),
+                    ),
+                    prune=[(date_col, ">=", lo), (date_col, "<", hi)],
+                )
+
+            return stmt
+
+        def compact() -> None:
+            self.warehouse.sto.run_compaction(self.table_ids[table])
+
+        deletes = [(f"{table}:delete{i}", make_delete(i)) for i in range(6)]
+        return (
+            inserts
+            + deletes[:3]
+            + [(f"{table}:compact0", compact)]
+            + deletes[3:]
+            + [(f"{table}:compact1", compact)]
+        )
+
+    def run_data_maintenance(self, label: str = "DM") -> PhaseResult:
+        """Run one full DM phase."""
+        clock = self.warehouse.clock
+        result = PhaseResult(name=label, started_at=clock.now, finished_at=clock.now)
+        for __, stmt in self.dm_statements():
+            stmt()
+            result.statements += 1
+        result.finished_at = clock.now
+        return result
+
+    # -- Optimize phase ------------------------------------------------------------
+
+    def run_optimize(self, label: str = "Optimize") -> PhaseResult:
+        """Explicitly compact and checkpoint every table."""
+        clock = self.warehouse.clock
+        result = PhaseResult(name=label, started_at=clock.now, finished_at=clock.now)
+        for name, table_id in sorted(self.table_ids.items()):
+            self.warehouse.sto.run_compaction(table_id)
+            self.warehouse.sto.run_checkpoint(table_id)
+            result.statements += 2
+        result.finished_at = clock.now
+        return result
+
+    # -- composite workloads ----------------------------------------------------------
+
+    def run_wp1(self, rounds: int = 2) -> List[PhaseResult]:
+        """WP1 longevity: alternate SU and DM phases."""
+        phases: List[PhaseResult] = []
+        for i in range(rounds):
+            phases.append(self.run_single_user(f"SU{i}"))
+            phases.append(self.run_data_maintenance(f"DM{i}"))
+            self.warehouse.sto.tick()
+        phases.append(self.run_single_user(f"SU{rounds}"))
+        return phases
+
+    def run_su_concurrent_with(
+        self, label: str, background: List[Tuple[str, Callable[[], None]]]
+    ) -> SuResult:
+        """SU power run with background statements interleaved.
+
+        Models concurrency on the shared simulated clock: between
+        consecutive SU queries, the next background statement commits —
+        so each query pays for snapshot advancement (cache extension,
+        fresh file reads) exactly as in the paper's WP3.
+        """
+        clock = self.warehouse.clock
+        result = SuResult(name=label, started_at=clock.now, finished_at=clock.now)
+        pending = list(background)
+        queries = self.su_queries()
+        for index, (name, plan) in enumerate(queries):
+            if pending:
+                __, stmt = pending.pop(0)
+                stmt()
+                result.statements += 1
+            t0 = clock.now
+            self.session.query(plan)
+            result.query_times.append((name, clock.now - t0))
+            result.statements += 1
+        # Drain remaining background statements inside the phase window.
+        for __, stmt in pending:
+            stmt()
+            result.statements += 1
+        result.finished_at = clock.now
+        return result
+
+    def run_wp3(self) -> List[PhaseResult]:
+        """WP3 concurrency: SU ‖ DM, then SU alone, then SU ‖ Optimize."""
+        phases: List[PhaseResult] = []
+        phases.append(self.run_single_user("SU-alone"))
+        phases.append(self.run_su_concurrent_with("SU+DM", self.dm_statements()))
+        self.warehouse.sto.tick()
+        phases.append(self.run_single_user("SU-between"))
+        optimize_stmts: List[Tuple[str, Callable[[], None]]] = []
+        for name, table_id in sorted(self.table_ids.items()):
+            optimize_stmts.append(
+                (
+                    f"{name}:optimize",
+                    lambda table_id=table_id: self.warehouse.sto.run_compaction(
+                        table_id
+                    ),
+                )
+            )
+        phases.append(self.run_su_concurrent_with("SU+Optimize", optimize_stmts))
+        return phases

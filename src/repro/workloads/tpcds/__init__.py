@@ -1,0 +1,6 @@
+"""TPC-DS subset: the sales/returns table families LST-Bench exercises."""
+
+from repro.workloads.tpcds.generator import TpcdsGenerator
+from repro.workloads.tpcds.schema import TPCDS_SCHEMAS, TPCDS_FAMILIES
+
+__all__ = ["TPCDS_FAMILIES", "TPCDS_SCHEMAS", "TpcdsGenerator"]

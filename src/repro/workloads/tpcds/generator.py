@@ -1,0 +1,158 @@
+"""Seeded micro-scale TPC-DS subset generator."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.batch import Batch
+from repro.workloads.tpcds.schema import (
+    MAX_DATE_SK,
+    MIN_DATE_SK,
+    PREFIX,
+    TPCDS_FAMILIES,
+)
+
+#: Base sales rows per family at scale 1.0 (store > catalog > web, as in
+#: the official cardinalities).
+BASE_SALES_ROWS = {
+    "catalog_sales": 8_000,
+    "store_sales": 16_000,
+    "web_sales": 4_000,
+}
+RETURN_FRACTION = 0.10
+BASE_ITEMS = 500
+
+CATEGORIES = ["Books", "Electronics", "Home", "Jewelry", "Music", "Shoes", "Sports"]
+
+
+class TpcdsGenerator:
+    """Generates the sales/returns families and the item dimension."""
+
+    def __init__(self, scale_factor: float = 1.0, seed: int = 7) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self._rng = np.random.default_rng(seed)
+        self._cache: Dict[str, Batch] = {}
+
+    def rows(self, table: str) -> int:
+        """Row count of a scaled table."""
+        if table == "item":
+            return max(10, int(BASE_ITEMS * self.scale_factor))
+        for sales, returns in TPCDS_FAMILIES:
+            if table == sales:
+                return max(10, int(BASE_SALES_ROWS[sales] * self.scale_factor))
+            if table == returns:
+                return max(
+                    1,
+                    int(BASE_SALES_ROWS[sales] * self.scale_factor * RETURN_FRACTION),
+                )
+        raise KeyError(table)
+
+    def table(self, name: str) -> Batch:
+        """Generate (and cache) one table."""
+        if name not in self._cache:
+            if name == "item":
+                self._cache[name] = self._gen_item()
+            else:
+                self._cache[name] = self._gen_channel(name)
+        return self._cache[name]
+
+    def all_tables(self) -> Dict[str, Batch]:
+        """Every table of the subset."""
+        names = ["item"] + [t for pair in TPCDS_FAMILIES for t in pair]
+        return {name: self.table(name) for name in names}
+
+    def incremental_sales(
+        self, sales_table: str, rows: int, date_sk: Optional[int] = None
+    ) -> Batch:
+        """A fresh insert batch for a DM phase (new date keys)."""
+        return self._sales_batch(
+            PREFIX[sales_table],
+            rows,
+            date_lo=date_sk if date_sk is not None else MAX_DATE_SK,
+            date_hi=(date_sk if date_sk is not None else MAX_DATE_SK) + 30,
+        )
+
+    def incremental_returns(
+        self, returns_table: str, rows: int, date_sk: Optional[int] = None
+    ) -> Batch:
+        """A fresh returns insert batch for a DM phase."""
+        rng = self._rng
+        rp = PREFIX[returns_table]
+        lo = date_sk if date_sk is not None else MAX_DATE_SK
+        items = self.rows("item")
+        qty = rng.integers(1, 50, rows).astype(np.int64)
+        return {
+            f"{rp}_returned_date_sk": rng.integers(lo, lo + 30, rows).astype(np.int64),
+            f"{rp}_item_sk": rng.integers(1, items + 1, rows).astype(np.int64),
+            f"{rp}_customer_sk": rng.integers(1, 10_000, rows).astype(np.int64),
+            f"{rp}_ticket_number": rng.integers(1, 1_000_000, rows).astype(np.int64),
+            f"{rp}_return_quantity": qty,
+            f"{rp}_return_amt": np.round(rng.uniform(1.0, 300.0, rows) * qty, 2),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _gen_item(self) -> Batch:
+        n = self.rows("item")
+        rng = self._rng
+        return {
+            "i_item_sk": np.arange(1, n + 1, dtype=np.int64),
+            "i_category": np.array(
+                [CATEGORIES[i] for i in rng.integers(0, len(CATEGORIES), n)],
+                dtype=object,
+            ),
+            "i_brand": np.array(
+                [f"Brand#{rng.integers(1, 100):02d}" for __ in range(n)], dtype=object
+            ),
+            "i_current_price": np.round(rng.uniform(0.99, 299.99, n), 2),
+        }
+
+    def _gen_channel(self, name: str) -> Batch:
+        for sales, returns in TPCDS_FAMILIES:
+            if name == sales:
+                return self._sales_batch(
+                    PREFIX[sales], self.rows(sales), MIN_DATE_SK, MAX_DATE_SK
+                )
+            if name == returns:
+                return self._returns_batch(sales, returns)
+        raise KeyError(name)
+
+    def _sales_batch(self, prefix: str, n: int, date_lo: int, date_hi: int) -> Batch:
+        rng = self._rng
+        items = self.rows("item")
+        qty = rng.integers(1, 100, n).astype(np.int64)
+        price = np.round(rng.uniform(1.0, 300.0, n), 2)
+        return {
+            f"{prefix}_sold_date_sk": rng.integers(date_lo, date_hi, n).astype(np.int64),
+            f"{prefix}_item_sk": rng.integers(1, items + 1, n).astype(np.int64),
+            f"{prefix}_customer_sk": rng.integers(1, 10_000, n).astype(np.int64),
+            f"{prefix}_ticket_number": np.arange(1, n + 1, dtype=np.int64),
+            f"{prefix}_quantity": qty,
+            f"{prefix}_sales_price": price,
+            f"{prefix}_net_profit": np.round(price * qty * rng.uniform(-0.2, 0.4, n), 2),
+        }
+
+    def _returns_batch(self, sales_name: str, returns_name: str) -> Batch:
+        sales = self.table(sales_name)
+        sp = PREFIX[sales_name]
+        rp = PREFIX[returns_name]
+        n = self.rows(returns_name)
+        rng = self._rng
+        picks = rng.choice(len(sales[f"{sp}_ticket_number"]), n, replace=False)
+        qty = np.maximum(1, sales[f"{sp}_quantity"][picks] // 2).astype(np.int64)
+        return {
+            f"{rp}_returned_date_sk": (
+                sales[f"{sp}_sold_date_sk"][picks] + rng.integers(1, 90, n)
+            ).astype(np.int64),
+            f"{rp}_item_sk": sales[f"{sp}_item_sk"][picks],
+            f"{rp}_customer_sk": sales[f"{sp}_customer_sk"][picks],
+            f"{rp}_ticket_number": sales[f"{sp}_ticket_number"][picks],
+            f"{rp}_return_quantity": qty,
+            f"{rp}_return_amt": np.round(
+                sales[f"{sp}_sales_price"][picks] * qty, 2
+            ),
+        }

@@ -1,0 +1,81 @@
+"""TPC-DS subset schemas.
+
+LST-Bench's WP1/WP3 data-maintenance phases insert into and delete from
+the primary *sales* and *returns* tables (Section 7.3).  We carry the
+three channel families the paper's Figure 11 shows being maintained in
+order — catalog, store, web — each with its sales and returns table, plus
+the shared ``item`` dimension.  Columns are the subset the maintenance
+statements and the single-user queries touch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.pagefile.schema import Schema
+
+#: Channel families in the maintenance order Figure 11 exhibits.
+TPCDS_FAMILIES: List[Tuple[str, str]] = [
+    ("catalog_sales", "catalog_returns"),
+    ("store_sales", "store_returns"),
+    ("web_sales", "web_returns"),
+]
+
+
+def _sales_schema(prefix: str) -> Schema:
+    return Schema.of(
+        (f"{prefix}_sold_date_sk", "int64"),
+        (f"{prefix}_item_sk", "int64"),
+        (f"{prefix}_customer_sk", "int64"),
+        (f"{prefix}_ticket_number", "int64"),
+        (f"{prefix}_quantity", "int64"),
+        (f"{prefix}_sales_price", "float64"),
+        (f"{prefix}_net_profit", "float64"),
+    )
+
+
+def _returns_schema(prefix: str) -> Schema:
+    return Schema.of(
+        (f"{prefix}_returned_date_sk", "int64"),
+        (f"{prefix}_item_sk", "int64"),
+        (f"{prefix}_customer_sk", "int64"),
+        (f"{prefix}_ticket_number", "int64"),
+        (f"{prefix}_return_quantity", "int64"),
+        (f"{prefix}_return_amt", "float64"),
+    )
+
+
+TPCDS_SCHEMAS: Dict[str, Schema] = {
+    "catalog_sales": _sales_schema("cs"),
+    "catalog_returns": _returns_schema("cr"),
+    "store_sales": _sales_schema("ss"),
+    "store_returns": _returns_schema("sr"),
+    "web_sales": _sales_schema("ws"),
+    "web_returns": _returns_schema("wr"),
+    "item": Schema.of(
+        ("i_item_sk", "int64"),
+        ("i_category", "string"),
+        ("i_brand", "string"),
+        ("i_current_price", "float64"),
+    ),
+}
+
+#: Column prefixes per table (for building predicates generically).
+PREFIX = {
+    "catalog_sales": "cs",
+    "catalog_returns": "cr",
+    "store_sales": "ss",
+    "store_returns": "sr",
+    "web_sales": "ws",
+    "web_returns": "wr",
+}
+
+#: Distribution columns (ticket number spreads rows evenly).
+TPCDS_DISTRIBUTION = {
+    name: f"{prefix}_ticket_number" for name, prefix in PREFIX.items()
+}
+TPCDS_DISTRIBUTION["item"] = "i_item_sk"
+
+#: Date-key domain used by generator and maintenance deletes.
+MIN_DATE_SK = 2_450_000
+MAX_DATE_SK = 2_452_000

@@ -1,0 +1,7 @@
+"""TPC-H: schema, seeded micro-scale generator, and the 22 queries."""
+
+from repro.workloads.tpch.generator import TpchGenerator
+from repro.workloads.tpch.queries import TPCH_QUERIES
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, date_days
+
+__all__ = ["TPCH_QUERIES", "TPCH_SCHEMAS", "TpchGenerator", "date_days"]

@@ -1,0 +1,281 @@
+"""Seeded micro-scale TPC-H data generator.
+
+Preserves the official schemas, inter-table cardinality ratios, value
+domains and the join graph; row counts scale with the ``scale_factor``
+relative to :data:`~repro.workloads.tpch.schema.BASE_ROWS`.  All columns
+come from one seeded numpy PRNG, so two generators with the same seed and
+scale produce identical data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.engine.batch import Batch
+from repro.workloads.tpch.schema import (
+    BASE_ROWS,
+    CONTAINERS,
+    MAX_ORDER_DATE,
+    MIN_ORDER_DATE,
+    NATIONS,
+    PART_NAME_WORDS,
+    PRIORITIES,
+    REGIONS,
+    SEGMENTS,
+    SHIP_INSTRUCT,
+    SHIP_MODES,
+    TYPE_SYLL1,
+    TYPE_SYLL2,
+    TYPE_SYLL3,
+)
+
+
+class TpchGenerator:
+    """Generates all eight TPC-H tables at a micro scale factor."""
+
+    def __init__(self, scale_factor: float = 1.0, seed: int = 42) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self._rng = np.random.default_rng(seed)
+        self._cache: Dict[str, Batch] = {}
+
+    def rows(self, table: str) -> int:
+        """Row count of a scaled table."""
+        if table == "region":
+            return len(REGIONS)
+        if table == "nation":
+            return len(NATIONS)
+        return max(1, int(BASE_ROWS[table] * self.scale_factor))
+
+    def table(self, name: str) -> Batch:
+        """Generate (and cache) one table."""
+        if name not in self._cache:
+            builder = getattr(self, f"_gen_{name}")
+            self._cache[name] = builder()
+        return self._cache[name]
+
+    def all_tables(self) -> Dict[str, Batch]:
+        """Generate every table, honouring foreign-key dependencies."""
+        order = [
+            "region",
+            "nation",
+            "supplier",
+            "customer",
+            "part",
+            "partsupp",
+            "orders",
+            "lineitem",
+        ]
+        return {name: self.table(name) for name in order}
+
+    def split_into_source_files(self, name: str, num_files: int) -> List[Batch]:
+        """Chunk a table into ``num_files`` batches (bulk-load source files)."""
+        batch = self.table(name)
+        total = len(next(iter(batch.values())))
+        per_file = math.ceil(total / num_files)
+        files = []
+        for start in range(0, total, per_file):
+            files.append(
+                {
+                    column: values[start : start + per_file]
+                    for column, values in batch.items()
+                }
+            )
+        return files
+
+    # -- individual tables ---------------------------------------------------
+
+    def _gen_region(self) -> Batch:
+        return {
+            "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+            "r_name": np.array(REGIONS, dtype=object),
+        }
+
+    def _gen_nation(self) -> Batch:
+        return {
+            "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+            "n_name": np.array([n for n, __ in NATIONS], dtype=object),
+            "n_regionkey": np.array([r for __, r in NATIONS], dtype=np.int64),
+        }
+
+    def _gen_supplier(self) -> Batch:
+        n = self.rows("supplier")
+        rng = self._rng
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        complaints = rng.random(n) < 0.05
+        comments = np.array(
+            [
+                "Customer Complaints lie quietly" if bad else "quiet regular deposits"
+                for bad in complaints
+            ],
+            dtype=object,
+        )
+        return {
+            "s_suppkey": keys,
+            "s_name": np.array([f"Supplier#{k:09d}" for k in keys], dtype=object),
+            "s_nationkey": rng.integers(0, len(NATIONS), n).astype(np.int64),
+            "s_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            "s_comment": comments,
+        }
+
+    def _gen_customer(self) -> Batch:
+        n = self.rows("customer")
+        rng = self._rng
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        nation = rng.integers(0, len(NATIONS), n).astype(np.int64)
+        phones = np.array(
+            [f"{10 + nk}-{rng.integers(100, 999)}-{rng.integers(1000, 9999)}" for nk in nation],
+            dtype=object,
+        )
+        return {
+            "c_custkey": keys,
+            "c_name": np.array([f"Customer#{k:09d}" for k in keys], dtype=object),
+            "c_nationkey": nation,
+            "c_acctbal": np.round(rng.uniform(-999.99, 9999.99, n), 2),
+            "c_mktsegment": np.array(
+                [SEGMENTS[i] for i in rng.integers(0, len(SEGMENTS), n)], dtype=object
+            ),
+            "c_phone": phones,
+        }
+
+    def _gen_part(self) -> Batch:
+        n = self.rows("part")
+        rng = self._rng
+        keys = np.arange(1, n + 1, dtype=np.int64)
+        brands = np.array(
+            [f"Brand#{rng.integers(1, 6)}{rng.integers(1, 6)}" for __ in range(n)],
+            dtype=object,
+        )
+        types = np.array(
+            [
+                f"{TYPE_SYLL1[rng.integers(0, len(TYPE_SYLL1))]} "
+                f"{TYPE_SYLL2[rng.integers(0, len(TYPE_SYLL2))]} "
+                f"{TYPE_SYLL3[rng.integers(0, len(TYPE_SYLL3))]}"
+                for __ in range(n)
+            ],
+            dtype=object,
+        )
+        names = np.array(
+            [
+                " ".join(
+                    PART_NAME_WORDS[i]
+                    for i in rng.choice(len(PART_NAME_WORDS), 5, replace=False)
+                )
+                for __ in range(n)
+            ],
+            dtype=object,
+        )
+        return {
+            "p_partkey": keys,
+            "p_name": names,
+            "p_mfgr": np.array(
+                [f"Manufacturer#{rng.integers(1, 6)}" for __ in range(n)], dtype=object
+            ),
+            "p_brand": brands,
+            "p_type": types,
+            "p_size": rng.integers(1, 51, n).astype(np.int64),
+            "p_container": np.array(
+                [CONTAINERS[i] for i in rng.integers(0, len(CONTAINERS), n)],
+                dtype=object,
+            ),
+            "p_retailprice": np.round(900.0 + (keys % 1000) + rng.uniform(0, 100, n), 2),
+        }
+
+    def _gen_partsupp(self) -> Batch:
+        parts = self.rows("part")
+        supps = self.rows("supplier")
+        per_part = 4
+        n = parts * per_part
+        rng = self._rng
+        partkeys = np.repeat(np.arange(1, parts + 1, dtype=np.int64), per_part)
+        suppkeys = (
+            (partkeys + np.tile(np.arange(per_part), parts) * (supps // per_part + 1))
+            % supps
+        ) + 1
+        return {
+            "ps_partkey": partkeys,
+            "ps_suppkey": suppkeys.astype(np.int64),
+            "ps_availqty": rng.integers(1, 10_000, n).astype(np.int64),
+            "ps_supplycost": np.round(rng.uniform(1.0, 1000.0, n), 2),
+        }
+
+    def _gen_orders(self) -> Batch:
+        n = self.rows("orders")
+        rng = self._rng
+        customers = self.rows("customer")
+        keys = np.arange(1, n + 1, dtype=np.int64) * 4  # sparse keys, as in dbgen
+        # One third of customers place no orders (official behaviour).
+        active = np.arange(1, customers + 1)
+        active = active[active % 3 != 0]
+        custkeys = active[rng.integers(0, len(active), n)].astype(np.int64)
+        dates = rng.integers(MIN_ORDER_DATE, MAX_ORDER_DATE - 150, n).astype(np.int64)
+        return {
+            "o_orderkey": keys,
+            "o_custkey": custkeys,
+            "o_orderstatus": np.array(
+                ["F" if d < MIN_ORDER_DATE + 1700 else "O" for d in dates], dtype=object
+            ),
+            "o_totalprice": np.round(rng.uniform(1000.0, 450_000.0, n), 2),
+            "o_orderdate": dates,
+            "o_orderpriority": np.array(
+                [PRIORITIES[i] for i in rng.integers(0, len(PRIORITIES), n)],
+                dtype=object,
+            ),
+            "o_shippriority": np.zeros(n, dtype=np.int64),
+        }
+
+    def _gen_lineitem(self) -> Batch:
+        orders = self.table("orders")
+        rng = self._rng
+        n_orders = len(orders["o_orderkey"])
+        lines_per_order = rng.integers(1, 8, n_orders)
+        n = int(lines_per_order.sum())
+        orderkeys = np.repeat(orders["o_orderkey"], lines_per_order)
+        orderdates = np.repeat(orders["o_orderdate"], lines_per_order)
+        parts = self.rows("part")
+        supps = self.rows("supplier")
+        partkeys = rng.integers(1, parts + 1, n).astype(np.int64)
+        # Supplier consistent with partsupp's part→supplier mapping.
+        which = rng.integers(0, 4, n)
+        suppkeys = ((partkeys + which * (supps // 4 + 1)) % supps + 1).astype(np.int64)
+        quantity = rng.integers(1, 51, n).astype(np.float64)
+        extprice = np.round(quantity * (900.0 + (partkeys % 1000)) / 10.0, 2)
+        shipdate = orderdates + rng.integers(1, 122, n)
+        commitdate = orderdates + rng.integers(30, 91, n)
+        receiptdate = shipdate + rng.integers(1, 31, n)
+        linenumbers = np.concatenate(
+            [np.arange(1, c + 1) for c in lines_per_order]
+        ).astype(np.int64)
+        returnflag = np.where(
+            receiptdate <= MIN_ORDER_DATE + 1260,
+            np.where(rng.random(n) < 0.5, "R", "A"),
+            "N",
+        ).astype(object)
+        linestatus = np.where(shipdate > MIN_ORDER_DATE + 1700, "O", "F").astype(object)
+        return {
+            "l_orderkey": orderkeys.astype(np.int64),
+            "l_partkey": partkeys,
+            "l_suppkey": suppkeys,
+            "l_linenumber": linenumbers,
+            "l_quantity": quantity,
+            "l_extendedprice": extprice,
+            "l_discount": np.round(rng.integers(0, 11, n) / 100.0, 2),
+            "l_tax": np.round(rng.integers(0, 9, n) / 100.0, 2),
+            "l_returnflag": returnflag,
+            "l_linestatus": linestatus,
+            "l_shipdate": shipdate.astype(np.int64),
+            "l_commitdate": commitdate.astype(np.int64),
+            "l_receiptdate": receiptdate.astype(np.int64),
+            "l_shipinstruct": np.array(
+                [SHIP_INSTRUCT[i] for i in rng.integers(0, len(SHIP_INSTRUCT), n)],
+                dtype=object,
+            ),
+            "l_shipmode": np.array(
+                [SHIP_MODES[i] for i in rng.integers(0, len(SHIP_MODES), n)],
+                dtype=object,
+            ),
+        }

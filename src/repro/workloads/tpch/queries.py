@@ -1,0 +1,920 @@
+"""The 22 TPC-H queries as logical plans.
+
+Each ``qN()`` function returns a :class:`~repro.engine.planner.Plan` over
+the TPC-H tables.  The plans follow the official query semantics with the
+operators this engine provides; correlated subqueries are rewritten as
+joins against aggregated subplans (the standard decorrelation), ``EXISTS``
+/ ``NOT EXISTS`` become semi/anti joins, and scalar subqueries become
+constant-key joins.  Two queries (13 and 21) use documented
+approximations — see their docstrings.
+
+``TPCH_QUERIES`` maps query number → builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.engine.expressions import (
+    BinOp,
+    Case,
+    Col,
+    Expr,
+    InList,
+    Like,
+    Lit,
+    Not,
+    Substr,
+    Year,
+    and_,
+    or_,
+)
+from repro.engine.planner import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Sort,
+    TableScan,
+)
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, date_days
+
+
+def _scan(table: str, *columns: str, predicate: Expr = None, prune=()) -> TableScan:
+    return TableScan(table, tuple(columns), predicate=predicate, prune=tuple(prune))
+
+
+def _rename(table: str, mapping: Dict[str, str], predicate: Expr = None) -> Plan:
+    """Scan with renamed output columns (for self-joins like nation×2)."""
+    scan = _scan(table, *mapping.keys(), predicate=predicate)
+    return Project(scan, {new: Col(old) for old, new in mapping.items()})
+
+
+def _const_key(plan: Plan, key: str, keep: Tuple[str, ...]) -> Plan:
+    """Add a constant join key (scalar-subquery cross join helper)."""
+    outputs = {c: Col(c) for c in keep}
+    outputs[key] = Lit(1)
+    return Project(plan, outputs)
+
+
+_REVENUE = BinOp("*", Col("l_extendedprice"), BinOp("-", Lit(1.0), Col("l_discount")))
+
+
+def q1() -> Plan:
+    """Pricing summary report."""
+    cutoff = date_days(1998, 9, 2)
+    scan = _scan(
+        "lineitem",
+        "l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+        "l_discount", "l_tax", "l_shipdate",
+        predicate=BinOp("<=", Col("l_shipdate"), Lit(cutoff)),
+        prune=[("l_shipdate", "<=", cutoff)],
+    )
+    derived = Project(
+        scan,
+        {
+            "l_returnflag": Col("l_returnflag"),
+            "l_linestatus": Col("l_linestatus"),
+            "l_quantity": Col("l_quantity"),
+            "l_extendedprice": Col("l_extendedprice"),
+            "l_discount": Col("l_discount"),
+            "disc_price": _REVENUE,
+            "charge": BinOp("*", _REVENUE, BinOp("+", Lit(1.0), Col("l_tax"))),
+        },
+    )
+    agg = Aggregate(
+        derived,
+        ("l_returnflag", "l_linestatus"),
+        {
+            "sum_qty": ("sum", Col("l_quantity")),
+            "sum_base_price": ("sum", Col("l_extendedprice")),
+            "sum_disc_price": ("sum", Col("disc_price")),
+            "sum_charge": ("sum", Col("charge")),
+            "avg_qty": ("avg", Col("l_quantity")),
+            "avg_price": ("avg", Col("l_extendedprice")),
+            "avg_disc": ("avg", Col("l_discount")),
+            "count_order": ("count", None),
+        },
+    )
+    return Sort(agg, (("l_returnflag", True), ("l_linestatus", True)))
+
+
+def _europe_suppliers() -> Plan:
+    """region(EUROPE) ⨝ nation ⨝ supplier."""
+    region = _scan(
+        "region", "r_regionkey", "r_name",
+        predicate=BinOp("==", Col("r_name"), Lit("EUROPE")),
+    )
+    nation = _scan("nation", "n_nationkey", "n_name", "n_regionkey")
+    supplier = _scan(
+        "supplier", "s_suppkey", "s_name", "s_nationkey", "s_acctbal", "s_comment"
+    )
+    rn = Join(nation, region, ("n_regionkey",), ("r_regionkey",))
+    return Join(supplier, rn, ("s_nationkey",), ("n_nationkey",))
+
+
+def q2() -> Plan:
+    """Minimum-cost supplier (decorrelated via min-cost-per-part join)."""
+    eu_ps = Join(
+        _scan("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"),
+        _europe_suppliers(),
+        ("ps_suppkey",),
+        ("s_suppkey",),
+    )
+    min_cost = Project(
+        Aggregate(eu_ps, ("ps_partkey",), {"min_cost": ("min", Col("ps_supplycost"))}),
+        {"mc_partkey": Col("ps_partkey"), "min_cost": Col("min_cost")},
+    )
+    part = _scan(
+        "part", "p_partkey", "p_mfgr", "p_size", "p_type",
+        predicate=and_(
+            BinOp("==", Col("p_size"), Lit(15)),
+            Like(Col("p_type"), "%BRASS"),
+        ),
+    )
+    joined = Join(
+        Join(eu_ps, part, ("ps_partkey",), ("p_partkey",)),
+        min_cost,
+        ("ps_partkey",),
+        ("mc_partkey",),
+    )
+    best = Filter(joined, BinOp("==", Col("ps_supplycost"), Col("min_cost")))
+    out = Project(
+        best,
+        {
+            "s_acctbal": Col("s_acctbal"),
+            "s_name": Col("s_name"),
+            "n_name": Col("n_name"),
+            "p_partkey": Col("p_partkey"),
+            "p_mfgr": Col("p_mfgr"),
+        },
+    )
+    return Limit(
+        Sort(out, (("s_acctbal", False), ("n_name", True), ("s_name", True))), 100
+    )
+
+
+def q3() -> Plan:
+    """Shipping priority."""
+    cutoff = date_days(1995, 3, 15)
+    customer = _scan(
+        "customer", "c_custkey", "c_mktsegment",
+        predicate=BinOp("==", Col("c_mktsegment"), Lit("BUILDING")),
+    )
+    orders = _scan(
+        "orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority",
+        predicate=BinOp("<", Col("o_orderdate"), Lit(cutoff)),
+        prune=[("o_orderdate", "<", cutoff)],
+    )
+    lineitem = _scan(
+        "lineitem", "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate",
+        predicate=BinOp(">", Col("l_shipdate"), Lit(cutoff)),
+        prune=[("l_shipdate", ">", cutoff)],
+    )
+    joined = Join(
+        Join(lineitem, orders, ("l_orderkey",), ("o_orderkey",)),
+        customer,
+        ("o_custkey",),
+        ("c_custkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "l_orderkey": Col("l_orderkey"),
+            "o_orderdate": Col("o_orderdate"),
+            "o_shippriority": Col("o_shippriority"),
+            "rev": _REVENUE,
+        },
+    )
+    agg = Aggregate(
+        derived,
+        ("l_orderkey", "o_orderdate", "o_shippriority"),
+        {"revenue": ("sum", Col("rev"))},
+    )
+    return Limit(Sort(agg, (("revenue", False), ("o_orderdate", True))), 10)
+
+
+def q4() -> Plan:
+    """Order priority checking (EXISTS → semi join)."""
+    lo = date_days(1993, 7, 1)
+    hi = date_days(1993, 10, 1)
+    orders = _scan(
+        "orders", "o_orderkey", "o_orderdate", "o_orderpriority",
+        predicate=and_(
+            BinOp(">=", Col("o_orderdate"), Lit(lo)),
+            BinOp("<", Col("o_orderdate"), Lit(hi)),
+        ),
+        prune=[("o_orderdate", ">=", lo), ("o_orderdate", "<", hi)],
+    )
+    late = _scan(
+        "lineitem", "l_orderkey", "l_commitdate", "l_receiptdate",
+        predicate=BinOp("<", Col("l_commitdate"), Col("l_receiptdate")),
+    )
+    semi = Join(orders, late, ("o_orderkey",), ("l_orderkey",), how="left-semi")
+    agg = Aggregate(semi, ("o_orderpriority",), {"order_count": ("count", None)})
+    return Sort(agg, (("o_orderpriority", True),))
+
+
+def q5() -> Plan:
+    """Local supplier volume."""
+    lo = date_days(1994, 1, 1)
+    hi = date_days(1995, 1, 1)
+    region = _scan(
+        "region", "r_regionkey", "r_name",
+        predicate=BinOp("==", Col("r_name"), Lit("ASIA")),
+    )
+    nation = _scan("nation", "n_nationkey", "n_name", "n_regionkey")
+    rn = Join(nation, region, ("n_regionkey",), ("r_regionkey",))
+    supplier = Join(
+        _scan("supplier", "s_suppkey", "s_nationkey"), rn,
+        ("s_nationkey",), ("n_nationkey",),
+    )
+    orders = _scan(
+        "orders", "o_orderkey", "o_custkey", "o_orderdate",
+        predicate=and_(
+            BinOp(">=", Col("o_orderdate"), Lit(lo)),
+            BinOp("<", Col("o_orderdate"), Lit(hi)),
+        ),
+        prune=[("o_orderdate", ">=", lo), ("o_orderdate", "<", hi)],
+    )
+    col = Join(
+        Join(
+            _scan("lineitem", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"),
+            orders,
+            ("l_orderkey",),
+            ("o_orderkey",),
+        ),
+        _scan("customer", "c_custkey", "c_nationkey"),
+        ("o_custkey",),
+        ("c_custkey",),
+    )
+    # Local: the customer and the supplier are in the same nation.
+    joined = Join(col, supplier, ("l_suppkey", "c_nationkey"), ("s_suppkey", "s_nationkey"))
+    derived = Project(joined, {"n_name": Col("n_name"), "rev": _REVENUE})
+    agg = Aggregate(derived, ("n_name",), {"revenue": ("sum", Col("rev"))})
+    return Sort(agg, (("revenue", False),))
+
+
+def q6() -> Plan:
+    """Forecasting revenue change."""
+    lo = date_days(1994, 1, 1)
+    hi = date_days(1995, 1, 1)
+    scan = _scan(
+        "lineitem", "l_extendedprice", "l_discount", "l_shipdate", "l_quantity",
+        predicate=and_(
+            BinOp(">=", Col("l_shipdate"), Lit(lo)),
+            BinOp("<", Col("l_shipdate"), Lit(hi)),
+            BinOp(">=", Col("l_discount"), Lit(0.05)),
+            BinOp("<=", Col("l_discount"), Lit(0.07)),
+            BinOp("<", Col("l_quantity"), Lit(24.0)),
+        ),
+        prune=[("l_shipdate", ">=", lo), ("l_shipdate", "<", hi)],
+    )
+    derived = Project(
+        scan, {"rev": BinOp("*", Col("l_extendedprice"), Col("l_discount"))}
+    )
+    return Aggregate(derived, (), {"revenue": ("sum", Col("rev"))})
+
+
+def q7() -> Plan:
+    """Volume shipping between two nations."""
+    lo = date_days(1995, 1, 1)
+    hi = date_days(1996, 12, 31)
+    n1 = _rename("nation", {"n_nationkey": "n1_key", "n_name": "supp_nation"})
+    n2 = _rename("nation", {"n_nationkey": "n2_key", "n_name": "cust_nation"})
+    supplier = Join(
+        _scan("supplier", "s_suppkey", "s_nationkey"), n1, ("s_nationkey",), ("n1_key",)
+    )
+    customer = Join(
+        _scan("customer", "c_custkey", "c_nationkey"), n2, ("c_nationkey",), ("n2_key",)
+    )
+    lineitem = _scan(
+        "lineitem", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount",
+        "l_shipdate",
+        predicate=and_(
+            BinOp(">=", Col("l_shipdate"), Lit(lo)),
+            BinOp("<=", Col("l_shipdate"), Lit(hi)),
+        ),
+        prune=[("l_shipdate", ">=", lo), ("l_shipdate", "<=", hi)],
+    )
+    joined = Join(
+        Join(
+            Join(lineitem, _scan("orders", "o_orderkey", "o_custkey"),
+                 ("l_orderkey",), ("o_orderkey",)),
+            customer,
+            ("o_custkey",),
+            ("c_custkey",),
+        ),
+        supplier,
+        ("l_suppkey",),
+        ("s_suppkey",),
+    )
+    pair = Filter(
+        joined,
+        or_(
+            and_(
+                BinOp("==", Col("supp_nation"), Lit("FRANCE")),
+                BinOp("==", Col("cust_nation"), Lit("GERMANY")),
+            ),
+            and_(
+                BinOp("==", Col("supp_nation"), Lit("GERMANY")),
+                BinOp("==", Col("cust_nation"), Lit("FRANCE")),
+            ),
+        ),
+    )
+    derived = Project(
+        pair,
+        {
+            "supp_nation": Col("supp_nation"),
+            "cust_nation": Col("cust_nation"),
+            "l_year": Year(Col("l_shipdate")),
+            "volume": _REVENUE,
+        },
+    )
+    agg = Aggregate(
+        derived, ("supp_nation", "cust_nation", "l_year"),
+        {"revenue": ("sum", Col("volume"))},
+    )
+    return Sort(
+        agg, (("supp_nation", True), ("cust_nation", True), ("l_year", True))
+    )
+
+
+def q8() -> Plan:
+    """National market share."""
+    lo = date_days(1995, 1, 1)
+    hi = date_days(1996, 12, 31)
+    region = _scan(
+        "region", "r_regionkey", "r_name",
+        predicate=BinOp("==", Col("r_name"), Lit("AMERICA")),
+    )
+    n1 = _rename("nation", {"n_nationkey": "n1_key", "n_regionkey": "n1_region"})
+    cust_region = Join(n1, region, ("n1_region",), ("r_regionkey",))
+    n2 = _rename("nation", {"n_nationkey": "n2_key", "n_name": "supp_nation"})
+    part = _scan(
+        "part", "p_partkey", "p_type",
+        predicate=BinOp("==", Col("p_type"), Lit("ECONOMY ANODIZED STEEL")),
+    )
+    orders = _scan(
+        "orders", "o_orderkey", "o_custkey", "o_orderdate",
+        predicate=and_(
+            BinOp(">=", Col("o_orderdate"), Lit(lo)),
+            BinOp("<=", Col("o_orderdate"), Lit(hi)),
+        ),
+        prune=[("o_orderdate", ">=", lo), ("o_orderdate", "<=", hi)],
+    )
+    joined = Join(
+        Join(
+            Join(
+                Join(
+                    Join(
+                        _scan("lineitem", "l_orderkey", "l_partkey", "l_suppkey",
+                              "l_extendedprice", "l_discount"),
+                        part, ("l_partkey",), ("p_partkey",),
+                    ),
+                    orders, ("l_orderkey",), ("o_orderkey",),
+                ),
+                _scan("customer", "c_custkey", "c_nationkey"),
+                ("o_custkey",), ("c_custkey",),
+            ),
+            cust_region, ("c_nationkey",), ("n1_key",),
+        ),
+        Join(_scan("supplier", "s_suppkey", "s_nationkey"), n2,
+             ("s_nationkey",), ("n2_key",)),
+        ("l_suppkey",), ("s_suppkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "o_year": Year(Col("o_orderdate")),
+            "volume": _REVENUE,
+            "brazil_volume": Case(
+                BinOp("==", Col("supp_nation"), Lit("BRAZIL")), _REVENUE, Lit(0.0)
+            ),
+        },
+    )
+    agg = Aggregate(
+        derived,
+        ("o_year",),
+        {
+            "brazil": ("sum", Col("brazil_volume")),
+            "total": ("sum", Col("volume")),
+        },
+    )
+    share = Project(
+        agg,
+        {
+            "o_year": Col("o_year"),
+            "mkt_share": BinOp("/", Col("brazil"), Col("total")),
+        },
+    )
+    return Sort(share, (("o_year", True),))
+
+
+def q9() -> Plan:
+    """Product-type profit measure."""
+    part = _scan(
+        "part", "p_partkey", "p_name", predicate=Like(Col("p_name"), "%green%")
+    )
+    joined = Join(
+        Join(
+            Join(
+                Join(
+                    _scan("lineitem", "l_orderkey", "l_partkey", "l_suppkey",
+                          "l_quantity", "l_extendedprice", "l_discount"),
+                    part, ("l_partkey",), ("p_partkey",),
+                ),
+                _scan("partsupp", "ps_partkey", "ps_suppkey", "ps_supplycost"),
+                ("l_partkey", "l_suppkey"), ("ps_partkey", "ps_suppkey"),
+            ),
+            Join(
+                _scan("supplier", "s_suppkey", "s_nationkey"),
+                _scan("nation", "n_nationkey", "n_name"),
+                ("s_nationkey",), ("n_nationkey",),
+            ),
+            ("l_suppkey",), ("s_suppkey",),
+        ),
+        _scan("orders", "o_orderkey", "o_orderdate"),
+        ("l_orderkey",), ("o_orderkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "nation": Col("n_name"),
+            "o_year": Year(Col("o_orderdate")),
+            "amount": BinOp(
+                "-",
+                _REVENUE,
+                BinOp("*", Col("ps_supplycost"), Col("l_quantity")),
+            ),
+        },
+    )
+    agg = Aggregate(derived, ("nation", "o_year"), {"sum_profit": ("sum", Col("amount"))})
+    return Sort(agg, (("nation", True), ("o_year", False)))
+
+
+def q10() -> Plan:
+    """Returned item reporting."""
+    lo = date_days(1993, 10, 1)
+    hi = date_days(1994, 1, 1)
+    orders = _scan(
+        "orders", "o_orderkey", "o_custkey", "o_orderdate",
+        predicate=and_(
+            BinOp(">=", Col("o_orderdate"), Lit(lo)),
+            BinOp("<", Col("o_orderdate"), Lit(hi)),
+        ),
+        prune=[("o_orderdate", ">=", lo), ("o_orderdate", "<", hi)],
+    )
+    lineitem = _scan(
+        "lineitem", "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount",
+        predicate=BinOp("==", Col("l_returnflag"), Lit("R")),
+    )
+    joined = Join(
+        Join(lineitem, orders, ("l_orderkey",), ("o_orderkey",)),
+        Join(
+            _scan("customer", "c_custkey", "c_name", "c_acctbal", "c_nationkey",
+                  "c_phone"),
+            _scan("nation", "n_nationkey", "n_name"),
+            ("c_nationkey",), ("n_nationkey",),
+        ),
+        ("o_custkey",), ("c_custkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "c_custkey": Col("c_custkey"),
+            "c_name": Col("c_name"),
+            "c_acctbal": Col("c_acctbal"),
+            "n_name": Col("n_name"),
+            "rev": _REVENUE,
+        },
+    )
+    agg = Aggregate(
+        derived,
+        ("c_custkey", "c_name", "c_acctbal", "n_name"),
+        {"revenue": ("sum", Col("rev"))},
+    )
+    return Limit(Sort(agg, (("revenue", False),)), 20)
+
+
+def q11() -> Plan:
+    """Important stock identification (scalar subquery → constant-key join)."""
+    german = Join(
+        Join(
+            _scan("partsupp", "ps_partkey", "ps_suppkey", "ps_availqty",
+                  "ps_supplycost"),
+            _scan("supplier", "s_suppkey", "s_nationkey"),
+            ("ps_suppkey",), ("s_suppkey",),
+        ),
+        _scan("nation", "n_nationkey", "n_name",
+              predicate=BinOp("==", Col("n_name"), Lit("GERMANY"))),
+        ("s_nationkey",), ("n_nationkey",),
+    )
+    value = Project(
+        german,
+        {
+            "ps_partkey": Col("ps_partkey"),
+            "val": BinOp("*", Col("ps_supplycost"), Col("ps_availqty")),
+        },
+    )
+    per_part = Aggregate(value, ("ps_partkey",), {"part_value": ("sum", Col("val"))})
+    total = Project(
+        Aggregate(value, (), {"total_value": ("sum", Col("val"))}),
+        {"total_value": Col("total_value"), "__k2__": Lit(1)},
+    )
+    crossed = Join(
+        _const_key(per_part, "__k__", ("ps_partkey", "part_value")),
+        total,
+        ("__k__",), ("__k2__",),
+    )
+    filtered = Filter(
+        crossed,
+        BinOp(">", Col("part_value"), BinOp("*", Col("total_value"), Lit(0.0001))),
+    )
+    out = Project(
+        filtered, {"ps_partkey": Col("ps_partkey"), "value": Col("part_value")}
+    )
+    return Sort(out, (("value", False),))
+
+
+def q12() -> Plan:
+    """Shipping modes and order priority."""
+    lo = date_days(1994, 1, 1)
+    hi = date_days(1995, 1, 1)
+    lineitem = _scan(
+        "lineitem", "l_orderkey", "l_shipmode", "l_shipdate", "l_commitdate",
+        "l_receiptdate",
+        predicate=and_(
+            InList(Col("l_shipmode"), ("MAIL", "SHIP")),
+            BinOp("<", Col("l_commitdate"), Col("l_receiptdate")),
+            BinOp("<", Col("l_shipdate"), Col("l_commitdate")),
+            BinOp(">=", Col("l_receiptdate"), Lit(lo)),
+            BinOp("<", Col("l_receiptdate"), Lit(hi)),
+        ),
+    )
+    joined = Join(
+        lineitem, _scan("orders", "o_orderkey", "o_orderpriority"),
+        ("l_orderkey",), ("o_orderkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "l_shipmode": Col("l_shipmode"),
+            "high": Case(
+                InList(Col("o_orderpriority"), ("1-URGENT", "2-HIGH")), Lit(1), Lit(0)
+            ),
+            "low": Case(
+                InList(Col("o_orderpriority"), ("1-URGENT", "2-HIGH")), Lit(0), Lit(1)
+            ),
+        },
+    )
+    agg = Aggregate(
+        derived,
+        ("l_shipmode",),
+        {
+            "high_line_count": ("sum", Col("high")),
+            "low_line_count": ("sum", Col("low")),
+        },
+    )
+    return Sort(agg, (("l_shipmode", True),))
+
+
+def q13() -> Plan:
+    """Customer order-count distribution.
+
+    Approximation: the official query is a *left outer* join so customers
+    with zero orders appear as ``c_count = 0``; this plan distributes only
+    customers that have at least one qualifying order (an inner-join
+    variant).  The zero bucket is absent; all other buckets are exact.
+    """
+    orders = _scan(
+        "orders", "o_orderkey", "o_custkey", "o_orderpriority",
+        predicate=Not(Like(Col("o_orderpriority"), "%special%")),
+    )
+    per_customer = Aggregate(orders, ("o_custkey",), {"c_count": ("count", None)})
+    dist = Aggregate(per_customer, ("c_count",), {"custdist": ("count", None)})
+    return Sort(dist, (("custdist", False), ("c_count", False)))
+
+
+def q14() -> Plan:
+    """Promotion effect."""
+    lo = date_days(1995, 9, 1)
+    hi = date_days(1995, 10, 1)
+    lineitem = _scan(
+        "lineitem", "l_partkey", "l_extendedprice", "l_discount", "l_shipdate",
+        predicate=and_(
+            BinOp(">=", Col("l_shipdate"), Lit(lo)),
+            BinOp("<", Col("l_shipdate"), Lit(hi)),
+        ),
+        prune=[("l_shipdate", ">=", lo), ("l_shipdate", "<", hi)],
+    )
+    joined = Join(
+        lineitem, _scan("part", "p_partkey", "p_type"),
+        ("l_partkey",), ("p_partkey",),
+    )
+    derived = Project(
+        joined,
+        {
+            "promo": Case(Like(Col("p_type"), "PROMO%"), _REVENUE, Lit(0.0)),
+            "rev": _REVENUE,
+        },
+    )
+    agg = Aggregate(
+        derived, (),
+        {"promo_sum": ("sum", Col("promo")), "total": ("sum", Col("rev"))},
+    )
+    return Project(
+        agg,
+        {
+            "promo_revenue": BinOp(
+                "/", BinOp("*", Lit(100.0), Col("promo_sum")), Col("total")
+            )
+        },
+    )
+
+
+def q15() -> Plan:
+    """Top supplier (scalar max → constant-key join)."""
+    lo = date_days(1996, 1, 1)
+    hi = date_days(1996, 4, 1)
+    lineitem = _scan(
+        "lineitem", "l_suppkey", "l_extendedprice", "l_discount", "l_shipdate",
+        predicate=and_(
+            BinOp(">=", Col("l_shipdate"), Lit(lo)),
+            BinOp("<", Col("l_shipdate"), Lit(hi)),
+        ),
+        prune=[("l_shipdate", ">=", lo), ("l_shipdate", "<", hi)],
+    )
+    revenue = Aggregate(
+        Project(lineitem, {"l_suppkey": Col("l_suppkey"), "rev": _REVENUE}),
+        ("l_suppkey",),
+        {"total_revenue": ("sum", Col("rev"))},
+    )
+    top = Project(
+        Aggregate(revenue, (), {"max_revenue": ("max", Col("total_revenue"))}),
+        {"max_revenue": Col("max_revenue"), "__k2__": Lit(1)},
+    )
+    crossed = Join(
+        _const_key(revenue, "__k__", ("l_suppkey", "total_revenue")),
+        top, ("__k__",), ("__k2__",),
+    )
+    best = Filter(crossed, BinOp("==", Col("total_revenue"), Col("max_revenue")))
+    joined = Join(
+        best, _scan("supplier", "s_suppkey", "s_name"),
+        ("l_suppkey",), ("s_suppkey",),
+    )
+    out = Project(
+        joined,
+        {
+            "s_suppkey": Col("s_suppkey"),
+            "s_name": Col("s_name"),
+            "total_revenue": Col("total_revenue"),
+        },
+    )
+    return Sort(out, (("s_suppkey", True),))
+
+
+def q16() -> Plan:
+    """Parts/supplier relationship (NOT IN → anti join)."""
+    part = _scan(
+        "part", "p_partkey", "p_brand", "p_type", "p_size",
+        predicate=and_(
+            Not(BinOp("==", Col("p_brand"), Lit("Brand#45"))),
+            Not(Like(Col("p_type"), "MEDIUM POLISHED%")),
+            InList(Col("p_size"), (49, 14, 23, 45, 19, 3, 36, 9)),
+        ),
+    )
+    complainers = _scan(
+        "supplier", "s_suppkey", "s_comment",
+        predicate=Like(Col("s_comment"), "%Customer%Complaints%"),
+    )
+    ps = Join(
+        _scan("partsupp", "ps_partkey", "ps_suppkey"),
+        complainers, ("ps_suppkey",), ("s_suppkey",), how="left-anti",
+    )
+    joined = Join(ps, part, ("ps_partkey",), ("p_partkey",))
+    agg = Aggregate(
+        joined,
+        ("p_brand", "p_type", "p_size"),
+        {"supplier_cnt": ("count_distinct", Col("ps_suppkey"))},
+    )
+    return Sort(
+        agg,
+        (("supplier_cnt", False), ("p_brand", True), ("p_type", True), ("p_size", True)),
+    )
+
+
+def q17() -> Plan:
+    """Small-quantity-order revenue (decorrelated avg per part)."""
+    part = _scan(
+        "part", "p_partkey", "p_brand", "p_container",
+        predicate=and_(
+            BinOp("==", Col("p_brand"), Lit("Brand#23")),
+            BinOp("==", Col("p_container"), Lit("MED BOX")),
+        ),
+    )
+    lineitem = _scan("lineitem", "l_partkey", "l_quantity", "l_extendedprice")
+    avg_qty = Project(
+        Aggregate(lineitem, ("l_partkey",), {"avg_qty": ("avg", Col("l_quantity"))}),
+        {"aq_partkey": Col("l_partkey"), "avg_qty": Col("avg_qty")},
+    )
+    joined = Join(
+        Join(lineitem, part, ("l_partkey",), ("p_partkey",)),
+        avg_qty, ("l_partkey",), ("aq_partkey",),
+    )
+    small = Filter(
+        joined,
+        BinOp("<", Col("l_quantity"), BinOp("*", Lit(0.2), Col("avg_qty"))),
+    )
+    agg = Aggregate(small, (), {"price_sum": ("sum", Col("l_extendedprice"))})
+    return Project(agg, {"avg_yearly": BinOp("/", Col("price_sum"), Lit(7.0))})
+
+
+def q18() -> Plan:
+    """Large-volume customers (HAVING → filter over aggregate)."""
+    per_order = Aggregate(
+        _scan("lineitem", "l_orderkey", "l_quantity"),
+        ("l_orderkey",),
+        {"sum_qty": ("sum", Col("l_quantity"))},
+    )
+    big = Project(
+        Filter(per_order, BinOp(">", Col("sum_qty"), Lit(300.0))),
+        {"big_orderkey": Col("l_orderkey"), "sum_qty": Col("sum_qty")},
+    )
+    joined = Join(
+        Join(
+            big,
+            _scan("orders", "o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"),
+            ("big_orderkey",), ("o_orderkey",),
+        ),
+        _scan("customer", "c_custkey", "c_name"),
+        ("o_custkey",), ("c_custkey",),
+    )
+    out = Project(
+        joined,
+        {
+            "c_name": Col("c_name"),
+            "c_custkey": Col("c_custkey"),
+            "o_orderkey": Col("o_orderkey"),
+            "o_orderdate": Col("o_orderdate"),
+            "o_totalprice": Col("o_totalprice"),
+            "sum_qty": Col("sum_qty"),
+        },
+    )
+    return Limit(Sort(out, (("o_totalprice", False), ("o_orderdate", True))), 100)
+
+
+def q19() -> Plan:
+    """Discounted revenue (disjunctive brand/container/quantity predicate)."""
+    joined = Join(
+        _scan("lineitem", "l_partkey", "l_quantity", "l_extendedprice",
+              "l_discount", "l_shipmode", "l_shipinstruct",
+              predicate=and_(
+                  InList(Col("l_shipmode"), ("AIR", "REG AIR")),
+                  BinOp("==", Col("l_shipinstruct"), Lit("DELIVER IN PERSON")),
+              )),
+        _scan("part", "p_partkey", "p_brand", "p_container", "p_size"),
+        ("l_partkey",), ("p_partkey",),
+    )
+    def clause(brand: str, containers, qlo: float, qhi: float, size_hi: int) -> Expr:
+        return and_(
+            BinOp("==", Col("p_brand"), Lit(brand)),
+            InList(Col("p_container"), tuple(containers)),
+            BinOp(">=", Col("l_quantity"), Lit(qlo)),
+            BinOp("<=", Col("l_quantity"), Lit(qhi)),
+            BinOp(">=", Col("p_size"), Lit(1)),
+            BinOp("<=", Col("p_size"), Lit(size_hi)),
+        )
+    filtered = Filter(
+        joined,
+        or_(
+            clause("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
+            clause("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+            clause("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+        ),
+    )
+    derived = Project(filtered, {"rev": _REVENUE})
+    return Aggregate(derived, (), {"revenue": ("sum", Col("rev"))})
+
+
+def q20() -> Plan:
+    """Potential part promotion (nested subqueries → aggregate joins)."""
+    lo = date_days(1994, 1, 1)
+    hi = date_days(1995, 1, 1)
+    forest_parts = Project(
+        _scan("part", "p_partkey", "p_name",
+              predicate=Like(Col("p_name"), "forest%")),
+        {"fp_partkey": Col("p_partkey")},
+    )
+    shipped = Aggregate(
+        _scan("lineitem", "l_partkey", "l_suppkey", "l_quantity", "l_shipdate",
+              predicate=and_(
+                  BinOp(">=", Col("l_shipdate"), Lit(lo)),
+                  BinOp("<", Col("l_shipdate"), Lit(hi)),
+              ),
+              prune=[("l_shipdate", ">=", lo), ("l_shipdate", "<", hi)]),
+        ("l_partkey", "l_suppkey"),
+        {"qty_shipped": ("sum", Col("l_quantity"))},
+    )
+    eligible_ps = Filter(
+        Join(
+            Join(
+                _scan("partsupp", "ps_partkey", "ps_suppkey", "ps_availqty"),
+                forest_parts, ("ps_partkey",), ("fp_partkey",), how="left-semi",
+            ),
+            shipped, ("ps_partkey", "ps_suppkey"), ("l_partkey", "l_suppkey"),
+        ),
+        BinOp(">", Col("ps_availqty"), BinOp("*", Lit(0.5), Col("qty_shipped"))),
+    )
+    suppliers = Join(
+        Join(
+            _scan("supplier", "s_suppkey", "s_name", "s_nationkey"),
+            _scan("nation", "n_nationkey", "n_name",
+                  predicate=BinOp("==", Col("n_name"), Lit("CANADA"))),
+            ("s_nationkey",), ("n_nationkey",),
+        ),
+        eligible_ps, ("s_suppkey",), ("ps_suppkey",), how="left-semi",
+    )
+    out = Project(suppliers, {"s_name": Col("s_name")})
+    return Sort(out, (("s_name", True),))
+
+
+def q21() -> Plan:
+    """Suppliers who kept orders waiting.
+
+    Approximation: the official query requires the late supplier to be the
+    *only* late supplier on a multi-supplier order (EXISTS + NOT EXISTS over
+    correlated lineitems).  This plan counts late line items of failed
+    orders per supplier — the ranking and the heavy hitters match; the
+    absolute counts are slightly higher than the official semantics.
+    """
+    late = _scan(
+        "lineitem", "l_orderkey", "l_suppkey", "l_commitdate", "l_receiptdate",
+        predicate=BinOp(">", Col("l_receiptdate"), Col("l_commitdate")),
+    )
+    failed = _scan(
+        "orders", "o_orderkey", "o_orderstatus",
+        predicate=BinOp("==", Col("o_orderstatus"), Lit("F")),
+    )
+    saudi = Join(
+        Join(
+            _scan("supplier", "s_suppkey", "s_name", "s_nationkey"),
+            _scan("nation", "n_nationkey", "n_name",
+                  predicate=BinOp("==", Col("n_name"), Lit("SAUDI ARABIA"))),
+            ("s_nationkey",), ("n_nationkey",),
+        ),
+        Join(late, failed, ("l_orderkey",), ("o_orderkey",)),
+        ("s_suppkey",), ("l_suppkey",),
+    )
+    agg = Aggregate(saudi, ("s_name",), {"numwait": ("count", None)})
+    return Limit(Sort(agg, (("numwait", False), ("s_name", True))), 100)
+
+
+def q22() -> Plan:
+    """Global sales opportunity (scalar avg + NOT EXISTS → anti join)."""
+    prefixes = ("13", "31", "23", "29", "30", "18", "17")
+    customer = _scan("customer", "c_custkey", "c_acctbal", "c_phone")
+    with_code = Project(
+        customer,
+        {
+            "c_custkey": Col("c_custkey"),
+            "c_acctbal": Col("c_acctbal"),
+            "cntrycode": Substr(Col("c_phone"), 1, 2),
+        },
+    )
+    coded = Filter(with_code, InList(Col("cntrycode"), prefixes))
+    positive = Filter(coded, BinOp(">", Col("c_acctbal"), Lit(0.0)))
+    avg_bal = Project(
+        Aggregate(positive, (), {"avg_bal": ("avg", Col("c_acctbal"))}),
+        {"avg_bal": Col("avg_bal"), "__k2__": Lit(1)},
+    )
+    crossed = Join(
+        _const_key(coded, "__k__", ("c_custkey", "c_acctbal", "cntrycode")),
+        avg_bal, ("__k__",), ("__k2__",),
+    )
+    rich = Filter(crossed, BinOp(">", Col("c_acctbal"), Col("avg_bal")))
+    no_orders = Join(
+        rich, _scan("orders", "o_custkey"),
+        ("c_custkey",), ("o_custkey",), how="left-anti",
+    )
+    derived = Project(
+        no_orders,
+        {
+            "cntrycode": Col("cntrycode"),
+            "c_acctbal": Col("c_acctbal"),
+        },
+    )
+    agg = Aggregate(
+        derived, ("cntrycode",),
+        {"numcust": ("count", None), "totacctbal": ("sum", Col("c_acctbal"))},
+    )
+    return Sort(agg, (("cntrycode", True),))
+
+
+TPCH_QUERIES: Dict[int, Callable[[], Plan]] = {
+    1: q1, 2: q2, 3: q3, 4: q4, 5: q5, 6: q6, 7: q7, 8: q8, 9: q9, 10: q10,
+    11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16, 17: q17, 18: q18,
+    19: q19, 20: q20, 21: q21, 22: q22,
+}

@@ -1,0 +1,151 @@
+"""TPC-H table schemas (standard columns, engine types).
+
+Dates are int64 *ordinal days* (``datetime.date.toordinal``), the engine's
+uniform date representation; :func:`date_days` converts calendar dates for
+query predicates.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Dict
+
+from repro.pagefile.schema import Schema
+
+TPCH_SCHEMAS: Dict[str, Schema] = {
+    "region": Schema.of(
+        ("r_regionkey", "int64"),
+        ("r_name", "string"),
+    ),
+    "nation": Schema.of(
+        ("n_nationkey", "int64"),
+        ("n_name", "string"),
+        ("n_regionkey", "int64"),
+    ),
+    "supplier": Schema.of(
+        ("s_suppkey", "int64"),
+        ("s_name", "string"),
+        ("s_nationkey", "int64"),
+        ("s_acctbal", "float64"),
+        ("s_comment", "string"),
+    ),
+    "customer": Schema.of(
+        ("c_custkey", "int64"),
+        ("c_name", "string"),
+        ("c_nationkey", "int64"),
+        ("c_acctbal", "float64"),
+        ("c_mktsegment", "string"),
+        ("c_phone", "string"),
+    ),
+    "part": Schema.of(
+        ("p_partkey", "int64"),
+        ("p_name", "string"),
+        ("p_mfgr", "string"),
+        ("p_brand", "string"),
+        ("p_type", "string"),
+        ("p_size", "int64"),
+        ("p_container", "string"),
+        ("p_retailprice", "float64"),
+    ),
+    "partsupp": Schema.of(
+        ("ps_partkey", "int64"),
+        ("ps_suppkey", "int64"),
+        ("ps_availqty", "int64"),
+        ("ps_supplycost", "float64"),
+    ),
+    "orders": Schema.of(
+        ("o_orderkey", "int64"),
+        ("o_custkey", "int64"),
+        ("o_orderstatus", "string"),
+        ("o_totalprice", "float64"),
+        ("o_orderdate", "int64"),
+        ("o_orderpriority", "string"),
+        ("o_shippriority", "int64"),
+    ),
+    "lineitem": Schema.of(
+        ("l_orderkey", "int64"),
+        ("l_partkey", "int64"),
+        ("l_suppkey", "int64"),
+        ("l_linenumber", "int64"),
+        ("l_quantity", "float64"),
+        ("l_extendedprice", "float64"),
+        ("l_discount", "float64"),
+        ("l_tax", "float64"),
+        ("l_returnflag", "string"),
+        ("l_linestatus", "string"),
+        ("l_shipdate", "int64"),
+        ("l_commitdate", "int64"),
+        ("l_receiptdate", "int64"),
+        ("l_shipinstruct", "string"),
+        ("l_shipmode", "string"),
+    ),
+}
+
+#: Distribution column per table (cell placement for co-located scans).
+TPCH_DISTRIBUTION = {
+    "region": "r_regionkey",
+    "nation": "n_nationkey",
+    "supplier": "s_suppkey",
+    "customer": "c_custkey",
+    "part": "p_partkey",
+    "partsupp": "ps_partkey",
+    "orders": "o_orderkey",
+    "lineitem": "l_orderkey",
+}
+
+#: Base cardinalities at scale factor 1.0 of the *micro* scale: SF 1.0 here
+#: corresponds to a few tens of thousands of lineitem rows, preserving the
+#: official inter-table ratios (lineitem ≈ 4×orders, orders = 10×customer).
+BASE_ROWS = {
+    "supplier": 100,
+    "customer": 1_500,
+    "part": 2_000,
+    "partsupp": 8_000,
+    "orders": 15_000,
+    "lineitem": 60_000,
+}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = [
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+    "JUMBO BAG", "JUMBO BOX", "JUMBO PACK", "JUMBO PKG",
+    "WRAP CASE", "WRAP BOX",
+]
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+    "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream",
+    "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+    "honeydew", "hot", "hotpink", "indian", "ivory", "khaki",
+]
+
+
+def date_days(year: int, month: int, day: int) -> int:
+    """Calendar date → engine date (ordinal days)."""
+    return datetime.date(year, month, day).toordinal()
+
+
+#: The order-date domain of the official benchmark: 1992-01-01..1998-08-02.
+MIN_ORDER_DATE = date_days(1992, 1, 1)
+MAX_ORDER_DATE = date_days(1998, 8, 2)

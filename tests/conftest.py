@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic deployments for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PolarisConfig, Schema, Warehouse
+
+
+def small_config() -> PolarisConfig:
+    """A configuration scaled for unit tests: few cells, tiny thresholds."""
+    config = PolarisConfig()
+    config.distributions = 4
+    config.rows_per_cell = 1_000
+    config.sto.min_healthy_rows_per_file = 10
+    config.sto.max_deleted_fraction = 0.25
+    config.sto.checkpoint_manifest_threshold = 5
+    config.sto.poll_interval_s = 1.0
+    config.sto.retention_period_s = 3600.0
+    config.dcp.fixed_nodes = 2
+    return config
+
+
+@pytest.fixture
+def config() -> PolarisConfig:
+    return small_config()
+
+
+@pytest.fixture
+def warehouse(config) -> Warehouse:
+    """A fresh warehouse with autonomous optimization disabled (tests drive
+    the STO explicitly unless they opt in)."""
+    return Warehouse(config=config, auto_optimize=False)
+
+
+@pytest.fixture
+def session(warehouse):
+    return warehouse.session()
+
+
+@pytest.fixture
+def simple_table(session):
+    """A table ``t(id int64, v float64)`` loaded with 100 rows."""
+    session.create_table(
+        "t", Schema.of(("id", "int64"), ("v", "float64")), distribution_column="id"
+    )
+    session.insert(
+        "t", {"id": np.arange(100, dtype=np.int64), "v": np.arange(100) * 1.0}
+    )
+    return "t"

@@ -1,0 +1,77 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.common.clock import SimulatedClock
+
+
+def test_starts_at_given_time():
+    assert SimulatedClock(5.0).now == 5.0
+
+
+def test_defaults_to_zero():
+    assert SimulatedClock().now == 0.0
+
+
+def test_advance_moves_forward():
+    clock = SimulatedClock()
+    clock.advance(2.5)
+    assert clock.now == 2.5
+    clock.advance(0.5)
+    assert clock.now == 3.0
+
+
+def test_advance_rejects_negative():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_advance_zero_is_noop():
+    clock = SimulatedClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_advance_to_is_monotonic():
+    clock = SimulatedClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+    clock.advance_to(4.0)  # past instants are ignored
+    assert clock.now == 10.0
+
+
+def test_call_at_fires_on_advance():
+    clock = SimulatedClock()
+    fired = []
+    clock.call_at(5.0, fired.append)
+    clock.advance(4.0)
+    assert fired == []
+    clock.advance(2.0)
+    assert fired == [6.0]
+
+
+def test_call_at_fires_once():
+    clock = SimulatedClock()
+    fired = []
+    clock.call_at(1.0, fired.append)
+    clock.advance(2.0)
+    clock.advance(2.0)
+    assert len(fired) == 1
+
+
+def test_call_at_multiple_watchers_fire_in_deadline_order():
+    clock = SimulatedClock()
+    fired = []
+    clock.call_at(3.0, lambda now: fired.append("b"))
+    clock.call_at(1.0, lambda now: fired.append("a"))
+    clock.advance(5.0)
+    assert fired == ["a", "b"]
+
+
+def test_call_at_in_past_fires_on_next_advance():
+    clock = SimulatedClock(10.0)
+    fired = []
+    clock.call_at(5.0, fired.append)
+    clock.advance(0.1)
+    assert fired == [10.1]

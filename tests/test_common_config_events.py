@@ -1,0 +1,95 @@
+"""Tests for configuration validation and the event bus."""
+
+import pytest
+
+from repro.common.config import PolarisConfig
+from repro.common.events import EventBus
+from repro.common.units import human_bytes, human_seconds, mib
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        PolarisConfig().validate()
+
+    def test_rejects_bad_granularity(self):
+        config = PolarisConfig()
+        config.txn.conflict_granularity = "row"
+        with pytest.raises(ValueError, match="granularity"):
+            config.validate()
+
+    def test_rejects_bad_isolation(self):
+        config = PolarisConfig()
+        config.txn.isolation = "read-uncommitted"
+        with pytest.raises(ValueError, match="isolation"):
+            config.validate()
+
+    def test_rejects_zero_distributions(self):
+        config = PolarisConfig()
+        config.distributions = 0
+        with pytest.raises(ValueError, match="distributions"):
+            config.validate()
+
+    def test_rejects_zero_rows_per_cell(self):
+        config = PolarisConfig()
+        config.rows_per_cell = 0
+        with pytest.raises(ValueError, match="rows_per_cell"):
+            config.validate()
+
+    def test_file_granularity_accepted(self):
+        config = PolarisConfig()
+        config.txn.conflict_granularity = "file"
+        config.validate()
+
+
+class TestEventBus:
+    def test_publish_reaches_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("topic", seen.append)
+        bus.publish("topic", x=1)
+        assert len(seen) == 1
+        assert seen[0].payload == {"x": 1}
+
+    def test_publish_without_subscribers(self):
+        event = EventBus().publish("quiet", y=2)
+        assert event.topic == "quiet"
+
+    def test_multiple_subscribers_all_fire(self):
+        bus = EventBus()
+        counts = [0, 0]
+
+        bus.subscribe("t", lambda e: counts.__setitem__(0, counts[0] + 1))
+        bus.subscribe("t", lambda e: counts.__setitem__(1, counts[1] + 1))
+        bus.publish("t")
+        assert counts == [1, 1]
+
+    def test_topics_are_isolated(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("a", seen.append)
+        bus.publish("b")
+        assert seen == []
+
+    def test_synchronous_delivery(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda e: order.append("handler"))
+        bus.publish("t")
+        order.append("after")
+        assert order == ["handler", "after"]
+
+
+class TestUnits:
+    def test_mib(self):
+        assert mib(1024 * 1024) == 1.0
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.0 KiB"
+        assert "MiB" in human_bytes(5 * 1024 * 1024)
+
+    def test_human_seconds(self):
+        assert human_seconds(0.5) == "500 ms"
+        assert human_seconds(30) == "30.0 s"
+        assert "min" in human_seconds(600)
+        assert "h" in human_seconds(10000)

@@ -1,0 +1,42 @@
+"""Tests for id generation."""
+
+from repro.common.ids import GuidGenerator, MonotonicSequence
+
+
+def test_guid_shape():
+    guid = GuidGenerator(seed=1).next()
+    parts = guid.split("-")
+    assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+    assert all(c in "0123456789abcdef-" for c in guid)
+
+
+def test_guid_deterministic_per_seed():
+    a = GuidGenerator(seed=3)
+    b = GuidGenerator(seed=3)
+    assert [a.next() for _ in range(5)] == [b.next() for _ in range(5)]
+
+
+def test_guid_differs_across_seeds():
+    assert GuidGenerator(seed=1).next() != GuidGenerator(seed=2).next()
+
+
+def test_guid_unique_within_generator():
+    gen = GuidGenerator(seed=0)
+    guids = [gen.next() for _ in range(1000)]
+    assert len(set(guids)) == 1000
+
+
+def test_sequence_is_strictly_increasing():
+    seq = MonotonicSequence()
+    values = [seq.next() for _ in range(10)]
+    assert values == list(range(10))
+
+
+def test_sequence_start():
+    seq = MonotonicSequence(start=100)
+    assert seq.next() == 100
+    assert seq.last == 100
+
+
+def test_sequence_last_before_any_next():
+    assert MonotonicSequence(start=5).last == 4

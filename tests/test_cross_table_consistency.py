@@ -1,0 +1,124 @@
+"""Cross-table snapshot consistency: the bank-transfer invariant.
+
+A multi-table transaction moves value between two tables; under SI every
+reader — whenever it starts, whatever interleaving — must see the total
+conserved.  A reader observing a partial transfer would be a violation of
+atomic multi-table visibility (Section 4.1's "covers multi-table write
+transactions as well").
+"""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, BinOp, Col, Lit, Schema, TableScan, Warehouse
+from tests.conftest import small_config
+
+TOTAL = 1000.0
+
+
+def balance(table):
+    return Aggregate(TableScan(table, ("amount",)), (), {"s": ("sum", Col("amount"))})
+
+
+@pytest.fixture
+def dw():
+    warehouse = Warehouse(config=small_config(), auto_optimize=False)
+    session = warehouse.session()
+    for table in ("checking", "savings"):
+        session.create_table(
+            table,
+            Schema.of(("slot", "int64"), ("amount", "float64")),
+            distribution_column="slot",
+        )
+    session.insert(
+        "checking",
+        {"slot": np.arange(10, dtype=np.int64), "amount": np.full(10, TOTAL / 10)},
+    )
+    session.insert(
+        "savings",
+        {"slot": np.arange(10, dtype=np.int64), "amount": np.zeros(10)},
+    )
+    return warehouse
+
+
+def read_total(session):
+    return float(session.query(balance("checking"))["s"][0]) + float(
+        session.query(balance("savings"))["s"][0]
+    )
+
+
+def transfer(dw, slot):
+    """Atomically move one slot's checking balance into savings."""
+    session = dw.session()
+    session.begin()
+    moved = TOTAL / 10
+    session.update(
+        "checking", BinOp("==", Col("slot"), Lit(slot)), {"amount": Lit(0.0)}
+    )
+    session.update(
+        "savings",
+        BinOp("==", Col("slot"), Lit(slot)),
+        {"amount": Lit(moved)},
+    )
+    return session
+
+
+def test_committed_transfers_conserve_total(dw):
+    for slot in range(5):
+        transfer(dw, slot).commit()
+    assert read_total(dw.session()) == pytest.approx(TOTAL)
+
+
+def test_reader_never_sees_partial_transfer(dw):
+    writer = transfer(dw, 0)  # open: checking debited, savings credited
+
+    # A reader starting mid-transfer sees the pre-transfer state entirely.
+    reader = dw.session()
+    reader.begin()
+    assert read_total(reader) == pytest.approx(TOTAL)
+
+    writer.commit()
+
+    # Still the old snapshot inside the reader's transaction...
+    assert read_total(reader) == pytest.approx(TOTAL)
+    assert float(reader.query(balance("savings"))["s"][0]) == 0.0
+    reader.commit()
+
+    # ...and the new, also-conserved state afterwards.
+    fresh = dw.session()
+    assert read_total(fresh) == pytest.approx(TOTAL)
+    assert float(fresh.query(balance("savings"))["s"][0]) == pytest.approx(100.0)
+
+
+def test_aborted_transfer_invisible_everywhere(dw):
+    writer = transfer(dw, 3)
+    writer.rollback()
+    fresh = dw.session()
+    assert read_total(fresh) == pytest.approx(TOTAL)
+    assert float(fresh.query(balance("savings"))["s"][0]) == 0.0
+
+
+def test_interleaved_transfers_and_readers(dw):
+    totals = []
+    for slot in range(10):
+        writer = transfer(dw, slot)
+        totals.append(read_total(dw.session()))  # mid-transfer reader
+        if slot % 3 == 2:
+            writer.rollback()
+        else:
+            writer.commit()
+        totals.append(read_total(dw.session()))  # post-decision reader
+    assert all(t == pytest.approx(TOTAL) for t in totals)
+
+
+def test_time_travel_sees_conserved_totals_at_every_point(dw):
+    times = [dw.clock.now]
+    for slot in range(4):
+        transfer(dw, slot).commit()
+        times.append(dw.clock.now)
+    session = dw.session()
+    for t in times:
+        total = float(
+            session.query(balance("checking"), as_of=t)["s"][0]
+        ) + float(session.query(balance("savings"), as_of=t)["s"][0])
+        assert total == pytest.approx(TOTAL)

@@ -1,0 +1,21 @@
+"""The examples are part of the product: each must run cleanly."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    # tpch_analytics accepts an optional scale argument; keep it tiny here.
+    monkeypatch.setattr(sys, "argv", [str(path), "0.02"])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+    assert "Traceback" not in out

@@ -1,0 +1,178 @@
+"""Tests for the EXPLAIN printer and the external Delta-log reader."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    BinOp,
+    Case,
+    Col,
+    Filter,
+    InList,
+    Join,
+    Like,
+    Limit,
+    Lit,
+    Not,
+    Schema,
+    Sort,
+    Substr,
+    TableScan,
+    Warehouse,
+    Year,
+    and_,
+)
+from repro.engine.explain import explain, format_expr
+from repro.sto.delta_reader import read_published_table
+from repro.workloads.tpch import TPCH_QUERIES
+from tests.conftest import small_config
+
+
+class TestFormatExpr:
+    def test_comparison_and_arithmetic(self):
+        expr = BinOp("==", BinOp("+", Col("a"), Lit(1)), Lit(5))
+        assert format_expr(expr) == "((a + 1) = 5)"
+
+    def test_boolean_connectives(self):
+        expr = and_(BinOp(">", Col("a"), Lit(0)), Not(BinOp("<", Col("b"), Lit(2))))
+        assert format_expr(expr) == "((a > 0) AND NOT (b < 2))"
+
+    def test_like_in_case(self):
+        assert format_expr(Like(Col("s"), "a%")) == "s LIKE 'a%'"
+        assert format_expr(InList(Col("x"), (1, 2))) == "x IN (1, 2)"
+        case = Case(BinOp(">", Col("x"), Lit(0)), Lit(1), Lit(0))
+        assert format_expr(case) == "CASE WHEN (x > 0) THEN 1 ELSE 0 END"
+
+    def test_functions(self):
+        assert format_expr(Year(Col("d"))) == "YEAR(d)"
+        assert format_expr(Substr(Col("s"), 1, 2)) == "SUBSTRING(s, 1, 2)"
+
+    def test_not_equal(self):
+        assert format_expr(BinOp("!=", Col("a"), Lit(1))) == "(a <> 1)"
+
+
+class TestExplain:
+    def test_scan_with_pushdown(self):
+        plan = TableScan(
+            "t", ("a", "b"), predicate=BinOp(">", Col("a"), Lit(1)),
+            prune=(("a", ">", 1),),
+        )
+        text = explain(plan)
+        assert "Scan t [a, b]" in text
+        assert "filter=(a > 1)" in text
+        assert "prune=(a > 1)" in text
+
+    def test_tree_indentation(self):
+        plan = Limit(
+            Sort(
+                Aggregate(
+                    Join(
+                        TableScan("l", ("k", "v")),
+                        TableScan("r", ("rk",)),
+                        ("k",), ("rk",),
+                    ),
+                    ("k",),
+                    {"total": ("sum", Col("v")), "n": ("count", None)},
+                ),
+                (("total", False),),
+            ),
+            5,
+        )
+        lines = explain(plan).splitlines()
+        assert lines[0] == "Limit 5"
+        assert lines[1].startswith("  Sort [total DESC]")
+        assert lines[2].startswith("    Aggregate group=[k]")
+        assert "count(*)" in lines[2]
+        assert lines[3].startswith("      HashJoin[inner] on (k=rk)")
+        assert lines[4].strip().startswith("Scan l")
+        assert lines[5].strip().startswith("Scan r")
+
+    def test_filter_project_nodes(self):
+        plan = Filter(
+            TableScan("t", ("a",)), BinOp("==", Col("a"), Lit(1))
+        )
+        assert explain(plan).splitlines()[0] == "Filter (a = 1)"
+
+    @pytest.mark.parametrize("qnum", sorted(TPCH_QUERIES))
+    def test_all_tpch_queries_explain(self, qnum):
+        text = explain(TPCH_QUERIES[qnum]())
+        assert text
+        assert "Scan" in text
+
+
+class TestDeltaReader:
+    @pytest.fixture
+    def dw(self):
+        warehouse = Warehouse(config=small_config(), auto_optimize=False)
+        warehouse.sto.auto_publish = True
+        session = warehouse.session()
+        session.create_table(
+            "t", Schema.of(("id", "int64"), ("v", "float64")),
+            distribution_column="id",
+        )
+        return warehouse
+
+    def ids(self, n, start=0):
+        return {"id": np.arange(start, start + n, dtype=np.int64),
+                "v": np.zeros(n)}
+
+    def test_unpublished_table_is_none(self, dw):
+        assert read_published_table(dw.context, "t") is None
+
+    def test_published_state_matches_snapshot(self, dw):
+        session = dw.session()
+        session.insert("t", self.ids(100))
+        session.insert("t", self.ids(50, start=200))
+        state = read_published_table(dw.context, "t")
+        snapshot = session.table_snapshot("t")
+        assert set(state.files) == {f.path for f in snapshot.files.values()}
+        assert state.versions_read == 2
+        assert state.total_bytes == snapshot.total_bytes
+
+    def test_deletes_reflected_as_dvs(self, dw):
+        session = dw.session()
+        session.insert("t", self.ids(100))
+        session.delete("t", BinOp("<", Col("id"), Lit(10)))
+        state = read_published_table(dw.context, "t")
+        snapshot = session.table_snapshot("t")
+        assert set(state.deletion_vectors) == set(snapshot.dvs)
+        assert set(state.deletion_vectors.values()) == {
+            dv.path for dv in snapshot.dvs.values()
+        }
+
+    def test_dv_replacement_reflected(self, dw):
+        session = dw.session()
+        session.insert("t", self.ids(100))
+        session.delete("t", BinOp("==", Col("id"), Lit(1)))
+        session.delete("t", BinOp("==", Col("id"), Lit(2)))
+        state = read_published_table(dw.context, "t")
+        snapshot = session.table_snapshot("t")
+        assert set(state.deletion_vectors.values()) == {
+            dv.path for dv in snapshot.dvs.values()
+        }
+
+    def test_compaction_reflected(self, dw):
+        session = dw.session()
+        session.insert("t", self.ids(100))
+        session.delete("t", BinOp("<", Col("id"), Lit(60)))
+        table_id = 1001
+        dw.sto.run_compaction(table_id)
+        # The compaction's manifest is published too (auto_publish hook is
+        # driven by commit events, which compaction emits).
+        state = read_published_table(dw.context, "t")
+        snapshot = session.table_snapshot("t")
+        assert set(state.files) == {f.path for f in snapshot.files.values()}
+        assert state.deletion_vectors == {}
+
+    def test_external_reader_can_read_data_files(self, dw):
+        """An external engine reads the same bytes through the shortcut."""
+        from repro.pagefile.reader import PageFileReader
+        session = dw.session()
+        session.insert("t", self.ids(30))
+        state = read_published_table(dw.context, "t")
+        total = 0
+        for path in state.files:
+            reader = PageFileReader(dw.store.get(path).data)
+            total += reader.num_rows
+        assert total == 30

@@ -1,0 +1,134 @@
+"""Tests for Query As Of, Clone As Of, and lineage independence (Section 6)."""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, BinOp, Col, Lit, Schema, TableScan, Warehouse
+from repro.common.errors import (
+    CatalogError,
+    RetentionViolationError,
+    SnapshotNotFoundError,
+)
+from repro.fe.timetravel import sequence_as_of, snapshot_as_of
+from tests.conftest import small_config
+
+
+def count(table):
+    return Aggregate(TableScan(table, ("id",)), (), {"n": ("count", None)})
+
+
+def ids(n, start=0):
+    return {"id": np.arange(start, start + n, dtype=np.int64), "v": np.zeros(n)}
+
+
+@pytest.fixture
+def dw():
+    return Warehouse(config=small_config(), auto_optimize=False)
+
+
+@pytest.fixture
+def session(dw):
+    s = dw.session()
+    s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                   distribution_column="id")
+    return s
+
+
+class TestQueryAsOf:
+    def test_reads_historic_state(self, dw, session):
+        session.insert("t", ids(10))
+        t1 = dw.clock.now
+        session.insert("t", ids(10, start=100))
+        t2 = dw.clock.now
+        session.delete("t", BinOp("<", Col("id"), Lit(5)))
+        assert session.query(count("t"))["n"][0] == 15
+        assert session.query(count("t"), as_of=t2)["n"][0] == 20
+        assert session.query(count("t"), as_of=t1)["n"][0] == 10
+
+    def test_before_first_insert_is_empty(self, dw, session):
+        t0 = dw.clock.now
+        session.insert("t", ids(10))
+        assert session.query(count("t"), as_of=t0)["n"][0] == 0
+
+    def test_before_table_creation_rejected(self, dw, session):
+        with pytest.raises(SnapshotNotFoundError):
+            session.query(count("t"), as_of=-1.0)
+
+    def test_unknown_table_rejected(self, dw):
+        with pytest.raises(SnapshotNotFoundError):
+            sequence_as_of(dw.context, 9999, dw.clock.now)
+
+    def test_beyond_retention_rejected(self, dw, session):
+        session.insert("t", ids(1))
+        t1 = dw.clock.now
+        dw.clock.advance(dw.config.sto.retention_period_s + 100.0)
+        with pytest.raises(RetentionViolationError):
+            session.query(count("t"), as_of=t1)
+
+    def test_snapshot_as_of_defaults_to_now(self, dw, session):
+        session.insert("t", ids(7))
+        snap = snapshot_as_of(dw.context, 1001)
+        assert snap.live_rows == 7
+
+
+class TestCloneAsOf:
+    def test_clone_matches_source_now(self, dw, session):
+        session.insert("t", ids(10))
+        session.clone_table("t", "t2")
+        assert dw.session().query(count("t2"))["n"][0] == 10
+
+    def test_clone_as_of_historic_point(self, dw, session):
+        session.insert("t", ids(10))
+        t1 = dw.clock.now
+        session.insert("t", ids(5, start=100))
+        session.clone_table("t", "t_old", as_of=t1)
+        assert dw.session().query(count("t_old"))["n"][0] == 10
+
+    def test_clone_shares_data_files(self, dw, session):
+        """Zero copy: clone references the source's physical files."""
+        session.insert("t", ids(10))
+        before = dw.store.meter.bytes_written
+        session.clone_table("t", "t2")
+        # Cloning writes no data files (only catalog rows, not metered).
+        assert dw.store.meter.bytes_written == before
+        src = session.table_snapshot("t")
+        cln = session.table_snapshot("t2")
+        assert set(f.path for f in src.files.values()) == set(
+            f.path for f in cln.files.values()
+        )
+
+    def test_clone_evolves_independently(self, dw, session):
+        session.insert("t", ids(10))
+        session.clone_table("t", "t2")
+        session.insert("t2", ids(5, start=200))
+        session.delete("t", BinOp("<", Col("id"), Lit(3)))
+        reader = dw.session()
+        assert reader.query(count("t"))["n"][0] == 7
+        assert reader.query(count("t2"))["n"][0] == 15
+
+    def test_clone_name_collision_rejected(self, dw, session):
+        session.insert("t", ids(1))
+        with pytest.raises(CatalogError):
+            session.clone_table("t", "t")
+
+    def test_clone_unknown_source_rejected(self, dw, session):
+        with pytest.raises(CatalogError):
+            session.clone_table("ghost", "t2")
+
+    def test_clone_inside_explicit_txn_is_atomic(self, dw, session):
+        session.insert("t", ids(10))
+        session.begin()
+        session.clone_table("t", "t2")
+        session.rollback()
+        assert "t2" not in dw.session().table_names()
+
+    def test_clone_consistent_under_concurrent_write(self, dw, session):
+        session.insert("t", ids(10))
+        cloner = dw.session()
+        cloner.begin()
+        cloner.query(count("t"))  # pin the snapshot
+        dw.session().insert("t", ids(5, start=100))
+        cloner.clone_table("t", "t2")
+        cloner.commit()
+        # The clone saw the cloner's SI snapshot: 10 rows, not 15.
+        assert dw.session().query(count("t2"))["n"][0] == 10

@@ -1,0 +1,75 @@
+"""Longevity: the self-healing claim over many WP1 rounds.
+
+Section 8: "Polaris implements automated self-healing optimizations ...
+This ensures the system's resilience and robustness."  Concretely, over an
+extended mixed workload the autonomous machinery must keep the system in a
+steady state: file counts bounded (compaction), manifest replay bounded
+(checkpoints), storage bounded (GC), and the data always correct.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Aggregate, Col, Schema, TableScan, Warehouse
+from repro.workloads.lst_bench import LstBenchRunner
+from tests.conftest import small_config
+
+
+@pytest.mark.parametrize("rounds", [4])
+def test_wp1_longevity_reaches_steady_state(rounds):
+    config = small_config()
+    config.distributions = 4
+    config.sto.min_healthy_rows_per_file = 50
+    config.sto.checkpoint_manifest_threshold = 10
+    config.sto.retention_period_s = 200.0
+    dw = Warehouse(config=config, auto_optimize=True)
+    dw.sto.schedule_periodic_gc(interval_s=100.0)
+    runner = LstBenchRunner(dw, scale_factor=0.1, source_files_per_table=2)
+    runner.setup()
+
+    file_counts = []
+    for round_index in range(rounds):
+        runner.run_single_user(f"SU{round_index}")
+        runner.run_data_maintenance(f"DM{round_index}")
+        dw.clock.advance(config.sto.poll_interval_s + 1)
+        dw.sto.tick()
+        snapshot = runner.session.table_snapshot("store_sales")
+        file_counts.append(len(snapshot.files))
+
+    # Compaction keeps the file count from growing without bound: the last
+    # round's count is within 2x of the first post-maintenance count.
+    assert file_counts[-1] <= file_counts[0] * 2, file_counts
+
+    # Checkpoints bound manifest replay: a cold rebuild of every table
+    # replays at most the checkpoint threshold's worth of manifests each.
+    dw.context.cache.invalidate()
+    before = dw.context.cache.stats.manifests_replayed
+    for name in runner.table_ids:
+        runner.session.table_snapshot(name)
+    replayed = dw.context.cache.stats.manifests_replayed - before
+    assert replayed <= len(runner.table_ids) * (
+        config.sto.checkpoint_manifest_threshold + 2
+    )
+
+    # GC bounds storage: internal files on disk stay within a small factor
+    # of the files any snapshot can still reference.
+    dw.clock.advance(config.sto.retention_period_s + 1)
+    dw.sto.run_gc()
+    on_disk = sum(1 for __ in dw.store.list("internal/"))
+    referenced = 0
+    for name in runner.table_ids:
+        snapshot = runner.session.table_snapshot(name)
+        referenced += len(snapshot.files) + len(snapshot.dvs)
+    assert on_disk < referenced * 3 + 50, (on_disk, referenced)
+
+    # And the data is still exactly right: totals match a full recount.
+    plan = Aggregate(
+        TableScan("store_sales", ("ss_quantity",)),
+        (),
+        {"n": ("count", None), "q": ("sum", Col("ss_quantity"))},
+    )
+    first = runner.session.query(plan)
+    dw.context.cache.invalidate()
+    second = dw.session().query(plan)
+    assert first["n"][0] == second["n"][0]
+    assert first["q"][0] == second["q"][0]

@@ -1,0 +1,164 @@
+"""Tests for the columnar file format: schema, roundtrips, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import FileFormatError, SchemaMismatchError
+from repro.pagefile import PageFileReader, Schema, write_page_file
+from repro.pagefile.file_format import read_footer
+from repro.pagefile.schema import Field
+from repro.pagefile.stats import ColumnStats, compute_stats
+
+
+def make_columns(n=100):
+    return {
+        "id": np.arange(n, dtype=np.int64),
+        "name": np.array([f"row-{i:04d}" for i in range(n)], dtype=object),
+        "score": np.linspace(0.0, 1.0, n),
+        "flag": np.arange(n) % 2 == 0,
+    }
+
+
+SCHEMA = Schema.of(
+    ("id", "int64"), ("name", "string"), ("score", "float64"), ("flag", "bool")
+)
+
+
+class TestSchema:
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaMismatchError):
+            Field("x", "decimal")
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaMismatchError):
+            Schema.of(("a", "int64"), ("a", "string"))
+
+    def test_field_lookup(self):
+        assert SCHEMA.field("id").type == "int64"
+        with pytest.raises(SchemaMismatchError):
+            SCHEMA.field("missing")
+
+    def test_contains_and_len(self):
+        assert "id" in SCHEMA
+        assert "zzz" not in SCHEMA
+        assert len(SCHEMA) == 4
+
+    def test_dict_roundtrip(self):
+        assert Schema.from_dict(SCHEMA.to_dict()) == SCHEMA
+
+    def test_validate_columns_checks_names(self):
+        with pytest.raises(SchemaMismatchError):
+            SCHEMA.validate_columns({"id": np.arange(3)})
+
+    def test_validate_columns_checks_lengths(self):
+        cols = make_columns(10)
+        cols["id"] = np.arange(5)
+        with pytest.raises(SchemaMismatchError, match="ragged"):
+            SCHEMA.validate_columns(cols)
+
+    def test_validate_returns_row_count(self):
+        assert SCHEMA.validate_columns(make_columns(17)) == 17
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self):
+        data = write_page_file(SCHEMA, make_columns(100), row_group_size=32)
+        reader = PageFileReader(data)
+        out = reader.read()
+        np.testing.assert_array_equal(out["id"], np.arange(100))
+        assert out["name"][0] == "row-0000"
+        np.testing.assert_allclose(out["score"], np.linspace(0.0, 1.0, 100))
+        np.testing.assert_array_equal(out["flag"], np.arange(100) % 2 == 0)
+
+    def test_empty_file(self):
+        data = write_page_file(SCHEMA, make_columns(0))
+        reader = PageFileReader(data)
+        assert reader.num_rows == 0
+        assert len(reader.read()["id"]) == 0
+
+    def test_single_row(self):
+        data = write_page_file(SCHEMA, make_columns(1))
+        assert PageFileReader(data).num_rows == 1
+
+    def test_row_group_boundaries(self):
+        for n in (31, 32, 33, 64, 65):
+            data = write_page_file(SCHEMA, make_columns(n), row_group_size=32)
+            reader = PageFileReader(data)
+            assert reader.num_rows == n
+            assert len(reader.read()["id"]) == n
+
+    def test_projection(self):
+        data = write_page_file(SCHEMA, make_columns(10))
+        out = PageFileReader(data).read(columns=["score"])
+        assert list(out) == ["score"]
+
+    def test_unicode_strings(self):
+        schema = Schema.of(("s", "string"))
+        values = np.array(["héllo", "wörld", "日本語", ""], dtype=object)
+        data = write_page_file(schema, {"s": values})
+        out = PageFileReader(data).read()
+        assert list(out["s"]) == list(values)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FileFormatError):
+            read_footer(b"not a page file at all")
+
+    def test_truncated_rejected(self):
+        data = write_page_file(SCHEMA, make_columns(10))
+        with pytest.raises(FileFormatError):
+            read_footer(data[:8])
+
+    def test_rejects_bad_row_group_size(self):
+        with pytest.raises(ValueError):
+            write_page_file(SCHEMA, make_columns(5), row_group_size=0)
+
+
+class TestStats:
+    def test_minmax_numeric(self):
+        stats = compute_stats(Field("x", "int64"), np.array([5, 1, 9]))
+        assert stats.minimum == 1 and stats.maximum == 9
+
+    def test_minmax_string(self):
+        stats = compute_stats(
+            Field("s", "string"), np.array(["b", "a", "c"], dtype=object)
+        )
+        assert stats.minimum == "a" and stats.maximum == "c"
+
+    def test_empty_chunk(self):
+        stats = compute_stats(Field("x", "int64"), np.array([], dtype=np.int64))
+        assert stats.minimum is None
+        assert stats.may_contain("==", 42)
+
+    @pytest.mark.parametrize(
+        "op,lit,expected",
+        [
+            ("==", 5, True), ("==", 11, False), ("==", 0, False),
+            ("<", 2, True), ("<", 1, False),
+            ("<=", 1, True), ("<=", 0, False),
+            (">", 9, True), (">", 10, False),
+            (">=", 10, True), (">=", 11, False),
+        ],
+    )
+    def test_may_contain(self, op, lit, expected):
+        stats = ColumnStats(minimum=1, maximum=10)
+        assert stats.may_contain(op, lit) is expected
+
+    def test_unknown_op_is_conservative(self):
+        assert ColumnStats(1, 10).may_contain("!=", 5)
+
+
+class TestPruning:
+    def test_pruning_skips_row_groups(self):
+        data = write_page_file(SCHEMA, make_columns(100), row_group_size=10)
+        out = PageFileReader(data).read(columns=["id"], prune=[("id", ">", 89)])
+        np.testing.assert_array_equal(out["id"], np.arange(90, 100))
+
+    def test_pruning_never_loses_matches(self):
+        data = write_page_file(SCHEMA, make_columns(100), row_group_size=7)
+        out = PageFileReader(data).read(columns=["id"], prune=[("id", "==", 50)])
+        assert 50 in out["id"]
+
+    def test_pruning_on_missing_column_is_ignored(self):
+        data = write_page_file(SCHEMA, make_columns(20), row_group_size=5)
+        out = PageFileReader(data).read(columns=["id"], prune=[("ghost", ">", 3)])
+        assert len(out["id"]) == 20

@@ -1,0 +1,124 @@
+"""The paper's worked example (Section 4.2, Figure 6), end to end.
+
+Transactions X1–X4 over table T1(C1, C2); asserts the exact visibility
+the paper walks through: X3's SUM(C2) = 6 throughout its life, the X3
+commit conflict with X2, and X4's SUM(C2) = 14.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Aggregate,
+    BinOp,
+    Col,
+    Lit,
+    Schema,
+    TableScan,
+    Warehouse,
+    WriteConflictError,
+)
+from tests.conftest import small_config
+
+SUM_C2 = Aggregate(TableScan("T1", ("c2",)), (), {"total": ("sum", Col("c2"))})
+
+
+@pytest.fixture
+def dw():
+    warehouse = Warehouse(config=small_config(), auto_optimize=False)
+    session = warehouse.session()
+    session.create_table("T1", Schema.of(("c1", "string"), ("c2", "int64")))
+    return warehouse
+
+
+def load_x1(dw):
+    """Transaction X1 (t1): load (A,1), (B,2), (C,3) and commit."""
+    session = dw.session()
+    session.insert(
+        "T1",
+        {"c1": np.array(["A", "B", "C"], dtype=object), "c2": np.array([1, 2, 3])},
+    )
+    return session
+
+
+def test_figure6_full_interleaving(dw):
+    load_x1(dw)
+
+    # t2: X2 and X3 start.
+    s2, s3 = dw.session(), dw.session()
+    s2.begin()
+    s3.begin()
+
+    # X3 reads: sees only X1's rows.
+    assert s3.query(SUM_C2)["total"][0] == 6
+
+    # X2 inserts (D,4),(E,5) and deletes (A,1).
+    s2.insert(
+        "T1", {"c1": np.array(["D", "E"], dtype=object), "c2": np.array([4, 5])}
+    )
+    s2.delete("T1", BinOp("==", Col("c1"), Lit("A")))
+
+    # X2 sees its own changes (2+3+4+5); X3 still sees 6 (SI).
+    assert s2.query(SUM_C2)["total"][0] == 14
+    assert s3.query(SUM_C2)["total"][0] == 6
+
+    # t3: X2 commits.
+    s2.commit()
+
+    # X3 still sees its snapshot after X2's commit.
+    assert s3.query(SUM_C2)["total"][0] == 6
+
+    # X3 deletes (B,2) — proceeds without blocking.
+    deleted = s3.delete("T1", BinOp("==", Col("c1"), Lit("B")))
+    assert deleted == 1
+    assert s3.query(SUM_C2)["total"][0] == 4  # its own view: 6 - 2
+
+    # t4: X3's commit detects the WriteSets conflict and rolls back.
+    with pytest.raises(WriteConflictError):
+        s3.commit()
+
+    # Potential X4 at t4 sees all actions of X1 and X2 — and nothing of X3.
+    s4 = dw.session()
+    assert s4.query(SUM_C2)["total"][0] == 14
+
+
+def test_figure6_x3_changes_leave_no_trace(dw):
+    load_x1(dw)
+    s2, s3 = dw.session(), dw.session()
+    s2.begin()
+    s3.begin()
+    s2.insert("T1", {"c1": np.array(["D"], dtype=object), "c2": np.array([4])})
+    s2.delete("T1", BinOp("==", Col("c1"), Lit("A")))
+    s2.commit()
+    s3.delete("T1", BinOp("==", Col("c1"), Lit("B")))
+    with pytest.raises(WriteConflictError):
+        s3.commit()
+    # B is still present: the aborted delete reverted completely.
+    rows = dw.session().query(TableScan("T1", ("c1", "c2")))
+    assert "B" in set(rows["c1"])
+    assert dw.session().query(SUM_C2)["total"][0] == 6 + 4 - 1
+
+
+def test_figure6_insert_only_transactions_never_conflict(dw):
+    """Inserts are append-only and avoid conflicts with other transactions."""
+    load_x1(dw)
+    s2, s3 = dw.session(), dw.session()
+    s2.begin()
+    s3.begin()
+    s2.insert("T1", {"c1": np.array(["D"], dtype=object), "c2": np.array([4])})
+    s3.insert("T1", {"c1": np.array(["E"], dtype=object), "c2": np.array([5])})
+    s2.commit()
+    s3.commit()  # no conflict: neither touched WriteSets
+    assert dw.session().query(SUM_C2)["total"][0] == 15
+
+
+def test_figure6_delete_vector_files_created(dw):
+    """X2's delete creates a DV file and its Add entry (1DV.parquet analog)."""
+    load_x1(dw)
+    session = dw.session()
+    session.delete("T1", BinOp("==", Col("c1"), Lit("A")))
+    snapshot = session.table_snapshot("T1")
+    assert len(snapshot.dvs) == 1
+    dv_info = next(iter(snapshot.dvs.values()))
+    assert dv_info.cardinality == 1
+    assert dw.store.exists(dv_info.path)

@@ -1,0 +1,96 @@
+"""Tests for the Iceberg-format publisher and its external reader."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BinOp, Col, Lit, Schema, Warehouse
+from repro.sto.publisher_iceberg import read_iceberg_table
+from tests.conftest import small_config
+
+
+def ids(n, start=0):
+    return {"id": np.arange(start, start + n, dtype=np.int64), "v": np.zeros(n)}
+
+
+@pytest.fixture
+def dw():
+    warehouse = Warehouse(config=small_config(), auto_optimize=False)
+    warehouse.sto.auto_publish = True
+    warehouse.sto.publish_formats = {"delta", "iceberg"}
+    session = warehouse.session()
+    session.create_table(
+        "t", Schema.of(("id", "int64"), ("v", "float64")),
+        distribution_column="id",
+    )
+    return warehouse
+
+
+def test_unpublished_table_is_none(dw):
+    dw.sto.publish_formats = set()
+    dw.session().insert("t", ids(5))
+    assert read_iceberg_table(dw.context, "t") is None
+
+
+def test_snapshot_chain_matches_warehouse(dw):
+    session = dw.session()
+    session.insert("t", ids(100))
+    session.insert("t", ids(50, start=200))
+    files, dvs = read_iceberg_table(dw.context, "t")
+    snapshot = session.table_snapshot("t")
+    assert set(files) == {f.path for f in snapshot.files.values()}
+    assert dvs == {}
+    assert len(dw.sto.iceberg.published) == 2
+    assert dw.sto.iceberg.published[-1].version == 1
+
+
+def test_deletes_become_positional_delete_files(dw):
+    session = dw.session()
+    session.insert("t", ids(100))
+    session.delete("t", BinOp("<", Col("id"), Lit(10)))
+    files, dvs = read_iceberg_table(dw.context, "t")
+    snapshot = session.table_snapshot("t")
+    assert set(dvs) == set(snapshot.dvs)
+    assert set(dvs.values()) == {dv.path for dv in snapshot.dvs.values()}
+
+
+def test_compaction_snapshot_is_overwrite(dw):
+    session = dw.session()
+    session.insert("t", ids(100))
+    session.delete("t", BinOp("<", Col("id"), Lit(60)))
+    dw.sto.run_compaction(1001)
+    files, dvs = read_iceberg_table(dw.context, "t")
+    snapshot = session.table_snapshot("t")
+    assert set(files) == {f.path for f in snapshot.files.values()}
+    assert dvs == {}
+    # Metadata labels the rewriting snapshot an "overwrite".
+    latest = dw.sto.iceberg.published[-1]
+    metadata = json.loads(dw.store.get(latest.metadata_path).data)
+    assert metadata["snapshots"][-1]["summary"]["operation"] == "overwrite"
+
+
+def test_both_formats_published_together(dw):
+    session = dw.session()
+    session.insert("t", ids(10))
+    assert dw.sto.publisher.published  # Delta
+    assert dw.sto.iceberg.published  # Iceberg
+    delta_files = {
+        blob.path
+        for blob in dw.store.list("published/dw/t/_delta_log/")
+    }
+    iceberg_files = {
+        blob.path
+        for blob in dw.store.list("published/dw/t/iceberg/metadata/")
+    }
+    assert delta_files and iceberg_files
+
+
+def test_metadata_chain_versions_increase(dw):
+    session = dw.session()
+    for i in range(3):
+        session.insert("t", ids(5, start=i * 10))
+    versions = [p.version for p in dw.sto.iceberg.published]
+    assert versions == [0, 1, 2]
+    files, __ = read_iceberg_table(dw.context, "t")
+    assert len(files) == len(session.table_snapshot("t").files)

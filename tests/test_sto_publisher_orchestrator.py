@@ -1,0 +1,139 @@
+"""Tests for Delta publishing (5.4) and the STO trigger engine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import BinOp, Col, Lit, Schema, Warehouse
+from repro.sqldb import system_tables as st
+from tests.conftest import small_config
+
+
+def ids(n, start=0):
+    return {"id": np.arange(start, start + n, dtype=np.int64), "v": np.zeros(n)}
+
+
+def table_id(dw, name="t"):
+    txn = dw.context.sqldb.begin()
+    try:
+        return st.find_table_by_name(txn, name)["table_id"]
+    finally:
+        txn.abort()
+
+
+@pytest.fixture
+def dw():
+    return Warehouse(config=small_config(), auto_optimize=True)
+
+
+@pytest.fixture
+def session(dw):
+    s = dw.session()
+    s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                   distribution_column="id")
+    return s
+
+
+class TestDeltaPublisher:
+    def test_commit_published_as_delta_log(self, dw, session):
+        dw.sto.auto_publish = True
+        session.insert("t", ids(10))
+        published = dw.sto.publisher.published
+        assert len(published) == 1
+        assert published[0].version == 0
+        blob = dw.store.get(published[0].path)
+        lines = [json.loads(l) for l in blob.data.decode().splitlines()]
+        assert "commitInfo" in lines[0]
+        adds = [l for l in lines if "add" in l]
+        assert adds
+        assert all("path" in l["add"] for l in adds)
+
+    def test_versions_increment(self, dw, session):
+        dw.sto.auto_publish = True
+        session.insert("t", ids(5))
+        session.insert("t", ids(5, start=10))
+        versions = [p.version for p in dw.sto.publisher.published]
+        assert versions == [0, 1]
+
+    def test_shortcut_written_once(self, dw, session):
+        dw.sto.auto_publish = True
+        session.insert("t", ids(5))
+        session.insert("t", ids(5, start=10))
+        shortcut_path = "published/dw/t/_shortcut.json"
+        assert dw.store.exists(shortcut_path)
+        shortcut = json.loads(dw.store.get(shortcut_path).data)
+        assert shortcut["target"].endswith(str(table_id(dw)))
+
+    def test_delete_published_with_deletion_vector(self, dw, session):
+        session.insert("t", ids(10))
+        dw.sto.auto_publish = True
+        session.delete("t", BinOp("==", Col("id"), Lit(3)))
+        blob = dw.store.get(dw.sto.publisher.published[-1].path)
+        lines = [json.loads(l) for l in blob.data.decode().splitlines()]
+        dv_adds = [l for l in lines if "add" in l and "deletionVector" in l["add"]]
+        assert dv_adds
+        assert dv_adds[0]["add"]["deletionVector"]["cardinality"] == 1
+
+    def test_no_publish_when_disabled(self, dw, session):
+        session.insert("t", ids(5))
+        assert dw.sto.publisher.published == []
+
+
+class TestOrchestratorTriggers:
+    def test_unhealthy_scan_schedules_compaction(self, dw, session):
+        session.insert("t", ids(100))
+        session.delete("t", BinOp("<", Col("id"), Lit(60)))
+        # A scan observes the degraded state and schedules compaction.
+        from repro import Aggregate, TableScan
+        dw.session().query(
+            Aggregate(TableScan("t", ("id",)), (), {"n": ("count", None)})
+        )
+        assert table_id(dw) in dw.sto.pending_compactions
+
+    def test_pending_compaction_runs_after_delay(self, dw, session):
+        session.insert("t", ids(100))
+        session.delete("t", BinOp("<", Col("id"), Lit(60)))
+        from repro import Aggregate, TableScan
+        plan = Aggregate(TableScan("t", ("id",)), (), {"n": ("count", None)})
+        dw.session().query(plan)
+        assert not dw.sto.compactions
+        dw.clock.advance(dw.config.sto.poll_interval_s + 1.0)
+        dw.sto.tick()
+        committed = [c for c in dw.sto.compactions if c.committed]
+        assert committed
+        assert dw.sto.health.is_healthy(table_id(dw))
+
+    def test_health_timeline_records_transitions(self, dw, session):
+        session.insert("t", ids(100))
+        from repro import Aggregate, TableScan
+        plan = Aggregate(TableScan("t", ("id",)), (), {"n": ("count", None)})
+        dw.session().query(plan)  # healthy observation
+        session.delete("t", BinOp("<", Col("id"), Lit(60)))
+        dw.session().query(plan)  # degraded observation
+        dw.clock.advance(dw.config.sto.poll_interval_s + 1.0)
+        dw.sto.tick()  # compaction restores health
+        tid = table_id(dw)
+        states = [t.healthy for t in dw.sto.health.transitions_for(tid)]
+        assert states == [True, False, True]
+
+    def test_disabled_sto_does_not_react(self):
+        dw = Warehouse(config=small_config(), auto_optimize=False)
+        session = dw.session()
+        session.create_table("t", Schema.of(("id", "int64"), ("v", "float64")))
+        session.insert("t", ids(100))
+        session.delete("t", BinOp("<", Col("id"), Lit(60)))
+        from repro import Aggregate, TableScan
+        dw.session().query(
+            Aggregate(TableScan("t", ("id",)), (), {"n": ("count", None)})
+        )
+        assert dw.sto.pending_compactions == {}
+        # Health is still *observed* (monitoring stays on), just not acted on.
+        assert dw.sto.health.is_healthy(table_id(dw)) is False
+
+    def test_checkpoint_trigger_threshold(self, dw, session):
+        threshold = dw.config.sto.checkpoint_manifest_threshold
+        for i in range(threshold):
+            session.insert("t", ids(2, start=i * 10))
+        assert len(dw.sto.checkpoints) == 1
+        assert dw.sto.checkpoints[0].manifests_collapsed == threshold

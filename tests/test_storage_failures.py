@@ -1,0 +1,90 @@
+"""Tests for fault injection and the block-blob client."""
+
+import pytest
+
+from repro.common.config import StorageConfig
+from repro.common.errors import TransientStorageError
+from repro.common.ids import GuidGenerator
+from repro.storage import BlockBlobClient, ObjectStore
+
+
+class TestFaultInjection:
+    def test_armed_fault_fires_once(self):
+        store = ObjectStore()
+        store.faults.arm("target")
+        with pytest.raises(TransientStorageError):
+            store.put("a/target/b", b"x")
+        store.put("a/target/b", b"x")  # second attempt succeeds
+
+    def test_armed_fault_matches_operation(self):
+        store = ObjectStore()
+        store.faults.arm("f", operation="get")
+        store.put("f", b"x")  # put unaffected
+        with pytest.raises(TransientStorageError):
+            store.get("f")
+
+    def test_armed_fault_ignores_other_paths(self):
+        store = ObjectStore()
+        store.faults.arm("xyz")
+        store.put("abc", b"1")
+        assert store.exists("abc")
+
+    def test_random_faults_follow_rate(self):
+        config = StorageConfig(transient_failure_rate=1.0)
+        store = ObjectStore(config=config)
+        with pytest.raises(TransientStorageError):
+            store.put("a", b"x")
+
+    def test_zero_rate_never_fails(self):
+        store = ObjectStore(config=StorageConfig(transient_failure_rate=0.0))
+        for i in range(100):
+            store.put(f"p{i}", b"x")
+
+    def test_random_faults_deterministic_per_seed(self):
+        def failures(seed: int) -> list:
+            store = ObjectStore(
+                config=StorageConfig(transient_failure_rate=0.5, failure_seed=seed)
+            )
+            out = []
+            for i in range(50):
+                try:
+                    store.put(f"p{i}", b"")
+                    out.append(False)
+                except TransientStorageError:
+                    out.append(True)
+            return out
+
+        assert failures(5) == failures(5)
+        assert failures(5) != failures(6)
+
+
+class TestBlockBlobClient:
+    def test_write_block_stages_and_remembers(self):
+        store = ObjectStore()
+        client = BlockBlobClient(store, "m", GuidGenerator(seed=0))
+        bid = client.write_block(b"data")
+        assert client.written_block_ids == [bid]
+        store.commit_block_list("m", [bid])
+        assert store.get("m").data == b"data"
+
+    def test_two_clients_do_not_interfere(self):
+        """Two BE nodes staging concurrently against one manifest."""
+        store = ObjectStore()
+        guids = GuidGenerator(seed=0)
+        a = BlockBlobClient(store, "m", guids)
+        b = BlockBlobClient(store, "m", guids)
+        ida = a.write_block(b"A")
+        idb = b.write_block(b"B")
+        store.commit_block_list("m", [ida, idb])
+        assert store.get("m").data == b"AB"
+
+    def test_abandoned_attempt_blocks_discarded(self):
+        """A restarted task's first-attempt blocks never become visible."""
+        store = ObjectStore()
+        guids = GuidGenerator(seed=0)
+        attempt1 = BlockBlobClient(store, "m", guids)
+        attempt1.write_block(b"garbage")
+        attempt2 = BlockBlobClient(store, "m", guids)
+        good = attempt2.write_block(b"good")
+        store.commit_block_list("m", [good])
+        assert store.get("m").data == b"good"

@@ -1,0 +1,202 @@
+"""Tests for the object store: immutability, listing, block-blob semantics."""
+
+import pytest
+
+from repro.common.errors import (
+    BlobAlreadyExistsError,
+    BlobNotFoundError,
+    BlockNotStagedError,
+    EtagMismatchError,
+)
+from repro.storage import ObjectStore
+
+
+@pytest.fixture
+def store():
+    return ObjectStore()
+
+
+class TestBasicBlobs:
+    def test_put_get_roundtrip(self, store):
+        store.put("a/b", b"hello")
+        assert store.get("a/b").data == b"hello"
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(BlobNotFoundError):
+            store.get("nope")
+
+    def test_put_is_immutable(self, store):
+        store.put("a", b"1")
+        with pytest.raises(BlobAlreadyExistsError):
+            store.put("a", b"2")
+
+    def test_put_overwrite_flag(self, store):
+        store.put("a", b"1")
+        store.put("a", b"2", overwrite=True)
+        assert store.get("a").data == b"2"
+
+    def test_exists(self, store):
+        assert not store.exists("x")
+        store.put("x", b"")
+        assert store.exists("x")
+
+    def test_delete_idempotent(self, store):
+        store.put("a", b"1")
+        store.delete("a")
+        store.delete("a")
+        assert not store.exists("a")
+
+    def test_delete_with_etag_mismatch(self, store):
+        blob = store.put("a", b"1")
+        with pytest.raises(EtagMismatchError):
+            store.delete("a", if_etag=blob.etag + 1)
+        store.delete("a", if_etag=blob.etag)
+        assert not store.exists("a")
+
+    def test_etags_are_unique(self, store):
+        first = store.put("a", b"1")
+        second = store.put("b", b"2")
+        assert first.etag != second.etag
+
+    def test_list_prefix(self, store):
+        store.put("x/1", b"")
+        store.put("x/2", b"")
+        store.put("y/1", b"")
+        assert [b.path for b in store.list("x/")] == ["x/1", "x/2"]
+
+    def test_list_all(self, store):
+        store.put("a", b"")
+        store.put("b", b"")
+        assert len(list(store.list())) == 2
+
+    def test_metadata_stored(self, store):
+        store.put("a", b"", metadata={"k": "v"})
+        assert store.head("a").metadata == {"k": "v"}
+
+    def test_created_at_uses_clock(self, store):
+        store.clock.advance(7.0)
+        blob = store.put("a", b"x")
+        assert blob.created_at >= 7.0
+
+    def test_latency_advances_clock(self, store):
+        before = store.clock.now
+        store.put("a", b"x" * 1024 * 1024)
+        assert store.clock.now > before
+
+    def test_latency_suspension(self, store):
+        with store.latency_suspended():
+            before = store.clock.now
+            store.put("a", b"x" * 1024 * 1024)
+            assert store.clock.now == before
+
+    def test_latency_suspension_nests(self, store):
+        with store.latency_suspended():
+            with store.latency_suspended():
+                pass
+            before = store.clock.now
+            store.put("a", b"x")
+            assert store.clock.now == before
+
+
+class TestBlockBlobs:
+    def test_staged_blocks_invisible(self, store):
+        store.stage_block("m", "b1", b"data")
+        assert not store.exists("m")
+
+    def test_commit_makes_content_visible(self, store):
+        store.stage_block("m", "b1", b"one")
+        store.stage_block("m", "b2", b"two")
+        store.commit_block_list("m", ["b1", "b2"])
+        assert store.get("m").data == b"onetwo"
+
+    def test_commit_order_controls_content(self, store):
+        store.stage_block("m", "b1", b"one")
+        store.stage_block("m", "b2", b"two")
+        store.commit_block_list("m", ["b2", "b1"])
+        assert store.get("m").data == b"twoone"
+
+    def test_uncommitted_blocks_discarded(self, store):
+        store.stage_block("m", "keep", b"K")
+        store.stage_block("m", "stale", b"S")
+        store.commit_block_list("m", ["keep"])
+        assert store.get("m").data == b"K"
+        # A later commit cannot resurrect the discarded block.
+        with pytest.raises(BlockNotStagedError):
+            store.commit_block_list("m", ["keep", "stale"])
+
+    def test_append_pattern(self, store):
+        """The FE's insert flush: old committed ids plus new staged ids."""
+        store.stage_block("m", "b1", b"1")
+        store.commit_block_list("m", ["b1"])
+        store.stage_block("m", "b2", b"2")
+        store.commit_block_list("m", ["b1", "b2"])
+        assert store.get("m").data == b"12"
+
+    def test_rewrite_pattern(self, store):
+        """The FE's update/delete flush: only the rewritten block survives."""
+        store.stage_block("m", "b1", b"old")
+        store.commit_block_list("m", ["b1"])
+        store.stage_block("m", "b2", b"new")
+        store.commit_block_list("m", ["b2"])
+        assert store.get("m").data == b"new"
+        assert store.committed_block_ids("m") == ["b2"]
+
+    def test_commit_unknown_block_rejected(self, store):
+        with pytest.raises(BlockNotStagedError):
+            store.commit_block_list("m", ["ghost"])
+
+    def test_commit_duplicate_ids_rejected(self, store):
+        store.stage_block("m", "b1", b"x")
+        with pytest.raises(BlockNotStagedError):
+            store.commit_block_list("m", ["b1", "b1"])
+
+    def test_staged_block_ids_listing(self, store):
+        store.stage_block("m", "b", b"")
+        store.stage_block("m", "a", b"")
+        assert store.staged_block_ids("m") == ["a", "b"]
+        store.commit_block_list("m", ["a"])
+        assert store.staged_block_ids("m") == []
+
+    def test_restage_same_id_overwrites(self, store):
+        store.stage_block("m", "b1", b"first")
+        store.stage_block("m", "b1", b"second")
+        store.commit_block_list("m", ["b1"])
+        assert store.get("m").data == b"second"
+
+    def test_created_at_preserved_across_commits(self, store):
+        store.stage_block("m", "b1", b"1")
+        store.commit_block_list("m", ["b1"])
+        created = store.get("m").created_at
+        store.clock.advance(100.0)
+        store.stage_block("m", "b2", b"2")
+        store.commit_block_list("m", ["b1", "b2"])
+        assert store.get("m").created_at == created
+
+    def test_delete_clears_block_state(self, store):
+        store.stage_block("m", "b1", b"1")
+        store.commit_block_list("m", ["b1"])
+        store.delete("m")
+        with pytest.raises(BlockNotStagedError):
+            store.commit_block_list("m", ["b1"])
+
+
+class TestMetering:
+    def test_requests_counted(self, store):
+        store.put("a", b"x")
+        store.get("a")
+        assert store.meter.requests["put"] == 1
+        assert store.meter.requests["get"] == 1
+
+    def test_bytes_accounted(self, store):
+        store.put("a", b"x" * 100)
+        store.get("a")
+        assert store.meter.bytes_written == 100
+        assert store.meter.bytes_read == 100
+
+    def test_meter_delta(self, store):
+        store.put("a", b"x")
+        baseline = store.meter.snapshot()
+        store.get("a")
+        delta = store.meter.delta(baseline)
+        assert delta.requests == {"get": 1}
+        assert delta.bytes_read == 1

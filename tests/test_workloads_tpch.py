@@ -1,0 +1,131 @@
+"""Tests for the TPC-H generator and queries."""
+
+import numpy as np
+import pytest
+
+from repro.engine.batch import num_rows
+from repro.engine.executor import dict_scan_source, execute_plan
+from repro.workloads.tpch import TPCH_QUERIES, TPCH_SCHEMAS, TpchGenerator
+from repro.workloads.tpch.schema import BASE_ROWS, MAX_ORDER_DATE, MIN_ORDER_DATE
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return TpchGenerator(scale_factor=0.1, seed=42).all_tables()
+
+
+@pytest.fixture(scope="module")
+def source(tables):
+    return dict_scan_source(tables)
+
+
+class TestGenerator:
+    def test_schemas_match(self, tables):
+        for name, batch in tables.items():
+            schema = TPCH_SCHEMAS[name]
+            assert set(batch) == set(schema.names)
+
+    def test_cardinality_ratios(self):
+        gen = TpchGenerator(scale_factor=0.5)
+        assert gen.rows("orders") == 10 * gen.rows("customer")
+        assert gen.rows("partsupp") == 4 * gen.rows("part")
+
+    def test_deterministic_per_seed(self):
+        a = TpchGenerator(scale_factor=0.05, seed=9).table("orders")
+        b = TpchGenerator(scale_factor=0.05, seed=9).table("orders")
+        np.testing.assert_array_equal(a["o_orderkey"], b["o_orderkey"])
+        np.testing.assert_array_equal(a["o_totalprice"], b["o_totalprice"])
+
+    def test_foreign_keys_valid(self, tables):
+        custkeys = set(tables["customer"]["c_custkey"].tolist())
+        assert set(tables["orders"]["o_custkey"].tolist()) <= custkeys
+        orderkeys = set(tables["orders"]["o_orderkey"].tolist())
+        assert set(tables["lineitem"]["l_orderkey"].tolist()) <= orderkeys
+        partkeys = set(tables["part"]["p_partkey"].tolist())
+        assert set(tables["lineitem"]["l_partkey"].tolist()) <= partkeys
+        suppkeys = set(tables["supplier"]["s_suppkey"].tolist())
+        assert set(tables["lineitem"]["l_suppkey"].tolist()) <= suppkeys
+        nationkeys = set(tables["nation"]["n_nationkey"].tolist())
+        assert set(tables["customer"]["c_nationkey"].tolist()) <= nationkeys
+
+    def test_date_domains(self, tables):
+        orders = tables["orders"]["o_orderdate"]
+        assert orders.min() >= MIN_ORDER_DATE
+        assert orders.max() <= MAX_ORDER_DATE
+        lineitem = tables["lineitem"]
+        assert (lineitem["l_receiptdate"] > lineitem["l_shipdate"]).all()
+
+    def test_one_third_of_customers_never_order(self, tables):
+        ordering = set(tables["orders"]["o_custkey"].tolist())
+        total = len(tables["customer"]["c_custkey"])
+        assert len(ordering) < total
+
+    def test_split_into_source_files(self):
+        gen = TpchGenerator(scale_factor=0.1)
+        files = gen.split_into_source_files("lineitem", 8)
+        assert len(files) == 8
+        total = sum(len(f["l_orderkey"]) for f in files)
+        assert total == len(gen.table("lineitem")["l_orderkey"])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(scale_factor=0)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("qnum", sorted(TPCH_QUERIES))
+    def test_query_executes(self, qnum, source):
+        out = execute_plan(TPCH_QUERIES[qnum](), source)
+        assert isinstance(out, dict)
+
+    def test_q1_aggregates_full_domain(self, source, tables):
+        out = execute_plan(TPCH_QUERIES[1](), source)
+        # Pricing summary: all (returnflag, linestatus) combinations present.
+        assert num_rows(out) >= 3
+        assert out["sum_qty"].sum() <= tables["lineitem"]["l_quantity"].sum()
+
+    def test_q1_counts_match_manual(self, source, tables):
+        out = execute_plan(TPCH_QUERIES[1](), source)
+        li = tables["lineitem"]
+        cutoff_mask = li["l_shipdate"] <= li["l_shipdate"].max()
+        assert out["count_order"].sum() <= cutoff_mask.sum()
+
+    def test_q6_matches_numpy(self, source, tables):
+        from repro.workloads.tpch.schema import date_days
+        li = tables["lineitem"]
+        lo, hi = date_days(1994, 1, 1), date_days(1995, 1, 1)
+        mask = (
+            (li["l_shipdate"] >= lo) & (li["l_shipdate"] < hi)
+            & (li["l_discount"] >= 0.05) & (li["l_discount"] <= 0.07)
+            & (li["l_quantity"] < 24)
+        )
+        expected = (li["l_extendedprice"][mask] * li["l_discount"][mask]).sum()
+        out = execute_plan(TPCH_QUERIES[6](), source)
+        assert out["revenue"][0] == pytest.approx(expected)
+
+    def test_q3_limit_respected(self, source):
+        out = execute_plan(TPCH_QUERIES[3](), source)
+        assert num_rows(out) <= 10
+
+    def test_q10_top_20(self, source):
+        out = execute_plan(TPCH_QUERIES[10](), source)
+        assert num_rows(out) <= 20
+        rev = out["revenue"]
+        assert all(rev[i] >= rev[i + 1] for i in range(len(rev) - 1))
+
+    def test_q12_ship_modes(self, source):
+        out = execute_plan(TPCH_QUERIES[12](), source)
+        assert set(out["l_shipmode"]) <= {"MAIL", "SHIP"}
+
+    def test_q14_percentage_bounds(self, source):
+        out = execute_plan(TPCH_QUERIES[14](), source)
+        assert 0.0 <= out["promo_revenue"][0] <= 100.0
+
+    def test_q15_is_the_max(self, source):
+        out = execute_plan(TPCH_QUERIES[15](), source)
+        assert num_rows(out) >= 1
+        assert len(set(out["total_revenue"].tolist())) == 1
+
+    def test_q22_country_codes(self, source):
+        out = execute_plan(TPCH_QUERIES[22](), source)
+        assert set(out["cntrycode"]) <= {"13", "31", "23", "29", "30", "18", "17"}
