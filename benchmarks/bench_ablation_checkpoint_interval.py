@@ -11,6 +11,17 @@ Expected shape: replay tail shrinks as the threshold drops; checkpoint
 writes grow — the classic log-structured trade-off.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Aggregate, Col, Schema, TableScan, Warehouse
@@ -78,3 +89,9 @@ def test_ablation_checkpoint_interval(benchmark):
         str(t): {"replayed": r, "checkpoints": c}
         for t, (r, c) in results.items()
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_checkpoint_interval)

@@ -10,6 +10,17 @@ Expected shape: scan time drops with more aggressive compaction; bytes
 written by compaction grow.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Aggregate, BinOp, Col, Lit, Schema, TableScan, Warehouse, and_
@@ -46,13 +57,17 @@ def run_policy(policy: str):
             prune=[("id", ">=", lo), ("id", "<", hi)],
         )
         if policy == "every-statement":
-            before = dw.store.meter.bytes_written
+            before = dw.telemetry.metrics.value("storage.bytes_written")
             dw.sto.run_compaction(tid)
-            compaction_bytes += dw.store.meter.bytes_written - before
+            compaction_bytes += int(
+                dw.telemetry.metrics.value("storage.bytes_written") - before
+            )
     if policy == "at-end":
-        before = dw.store.meter.bytes_written
+        before = dw.telemetry.metrics.value("storage.bytes_written")
         dw.sto.run_compaction(tid)
-        compaction_bytes += dw.store.meter.bytes_written - before
+        compaction_bytes += int(
+            dw.telemetry.metrics.value("storage.bytes_written") - before
+        )
 
     dw.context.cache.invalidate()
     start = dw.clock.now
@@ -102,3 +117,9 @@ def test_ablation_compaction_threshold(benchmark):
     benchmark.extra_info["results"] = {
         policy: {"scan_s": r[0], "bytes": r[1]} for policy, r in results.items()
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_compaction_threshold)

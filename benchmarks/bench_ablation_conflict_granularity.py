@@ -10,6 +10,17 @@ Expected shape: table granularity aborts every pair; file granularity
 aborts only the (rare) pairs whose rows share a data file.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import BinOp, Col, Lit, Schema, Warehouse, WriteConflictError
@@ -73,3 +84,9 @@ def test_ablation_conflict_granularity(benchmark):
     benchmark.extra_info["abort_rates"] = {
         mode: results[mode] / PAIRS for mode in results
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_conflict_granularity)

@@ -13,6 +13,17 @@ freshness of reads:
   serializability for read-then-write analytics.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Aggregate, Col, Schema, TableScan, Warehouse
@@ -84,3 +95,9 @@ def test_ablation_isolation_levels(benchmark):
         lvl: {"commits": c, "aborts": a, "pinned": s}
         for lvl, (c, a, s) in results.items()
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_isolation_levels)

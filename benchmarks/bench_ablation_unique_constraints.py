@@ -11,9 +11,22 @@ Expected shape: enforcement multiplies insert cost (each insert re-reads
 overlapping key ranges) and the gap grows as the table accumulates files.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Schema, Warehouse
+
+from repro.telemetry import snapshot_delta
 
 from benchmarks.support import bench_config, print_series, run_once
 
@@ -35,13 +48,17 @@ def run_inserts(enforce: bool):
     # externally-generated identifiers): every insert's key range overlaps
     # every existing file, so zone maps cannot prune the duplicate check.
     all_keys = rng.permutation(BATCHES * ROWS_PER_BATCH).astype(np.int64)
-    before_meter = dw.store.meter.snapshot()
+    before = dw.telemetry.metrics.snapshot()
     start = dw.clock.now
     for b in range(BATCHES):
         keys = all_keys[b * ROWS_PER_BATCH : (b + 1) * ROWS_PER_BATCH]
         session.insert("t", {"id": keys, "v": np.zeros(ROWS_PER_BATCH)})
     elapsed = dw.clock.now - start
-    reads = dw.store.meter.delta(before_meter).bytes_read
+    reads = int(
+        snapshot_delta(dw.telemetry.metrics.snapshot(), before).get(
+            "storage.bytes_read", 0
+        )
+    )
     return elapsed, reads
 
 
@@ -73,3 +90,9 @@ def test_ablation_unique_constraints(benchmark):
     benchmark.extra_info["bytes_read"] = {
         mode: results[mode][1] for mode in results
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_unique_constraints)

@@ -10,6 +10,17 @@ Expected shape: query latency during the load is flat with separation and
 significantly inflated without it.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Aggregate, Col, Schema, TableScan, Warehouse
@@ -105,3 +116,9 @@ def test_ablation_workload_separation(benchmark):
     benchmark.extra_info["mean_latency"] = {
         mode: float(np.mean(ts)) for mode, ts in results.items()
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_workload_separation)

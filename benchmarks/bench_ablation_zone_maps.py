@@ -10,9 +10,22 @@ Expected shape: with the sort key, file-level zone maps prune most files
 and the scan reads a fraction of the bytes; unsorted data defeats pruning.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 import numpy as np
 
 from repro import Aggregate, BinOp, Col, Lit, Schema, TableScan, and_
+
+from repro.telemetry import snapshot_delta
 
 from benchmarks.support import fresh_warehouse, print_series, run_once
 
@@ -57,13 +70,13 @@ def run_layout(sorted_layout: bool):
         (),
         {"n": ("count", None)},
     )
-    before_meter = dw.store.meter.snapshot()
+    before = dw.telemetry.metrics.snapshot()
     start = dw.clock.now
     out = session.query(plan)
     elapsed = dw.clock.now - start
-    delta = dw.store.meter.delta(before_meter)
+    delta = snapshot_delta(dw.telemetry.metrics.snapshot(), before)
     assert out["n"][0] == hi - lo
-    return elapsed, delta.bytes_read
+    return elapsed, int(delta.get("storage.bytes_read", 0))
 
 
 def test_ablation_zone_maps(benchmark):
@@ -95,3 +108,9 @@ def test_ablation_zone_maps(benchmark):
     benchmark.extra_info["bytes_read"] = {
         "sorted": sorted_bytes, "unsorted": unsorted_bytes
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_ablation_zone_maps)

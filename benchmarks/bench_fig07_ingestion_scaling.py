@@ -13,6 +13,17 @@ load time ratio across a K× data growth is well below K; resource factor
 grows monotonically.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from repro.workloads.tpch import TpchGenerator
 from repro.workloads.tpch.schema import TPCH_SCHEMAS, TPCH_DISTRIBUTION
 
@@ -87,3 +98,9 @@ def test_fig07_ingestion_scaling(benchmark):
         {"scale": s, "load_time_s": t, "nodes": n}
         for s, __, __, t, n in results
     ]
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig07_ingestion_scaling)

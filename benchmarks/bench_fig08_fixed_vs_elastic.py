@@ -10,6 +10,17 @@ Reproduction: two micro scales with a 10× data ratio; the fixed deployment
 keeps its provisioned node count, the elastic one sizes per job.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from repro.workloads.tpch import TpchGenerator
 from repro.workloads.tpch.schema import TPCH_SCHEMAS, TPCH_DISTRIBUTION
 
@@ -86,3 +97,9 @@ def test_fig08_fixed_vs_elastic(benchmark):
         for label, __, __ in SCALES
         for mode in ("fixed", "elastic")
     }
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig08_fixed_vs_elastic)

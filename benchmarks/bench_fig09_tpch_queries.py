@@ -12,6 +12,17 @@ Reproduction: micro-scale TPC-H; the concurrent load is an open explicit
 transaction bulk-inserting into lineitem while the queries run.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from repro.workloads.tpch import TPCH_QUERIES, TpchGenerator
 from repro.workloads.tpch.schema import TPCH_DISTRIBUTION, TPCH_SCHEMAS
 
@@ -88,3 +99,9 @@ def test_fig09_tpch_with_and_without_concurrent_load(benchmark):
 
     benchmark.extra_info["total_alone_s"] = total_alone
     benchmark.extra_info["total_with_load_s"] = total_loaded
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig09_tpch_with_and_without_concurrent_load)

@@ -14,6 +14,17 @@ is entirely the STO's doing.  Expected shape: every table that turns red
 turns green again before the next SU phase ends.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from repro.workloads.lst_bench import LstBenchRunner
 
 from benchmarks.support import fresh_warehouse, print_series, run_once
@@ -77,3 +88,9 @@ def test_fig10_compaction_restores_health(benchmark):
 
     benchmark.extra_info["transitions"] = len(dw.sto.health.timeline)
     benchmark.extra_info["compactions"] = len(committed)
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig10_compaction_restores_health)

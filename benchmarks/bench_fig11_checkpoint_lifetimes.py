@@ -13,6 +13,17 @@ checkpoint per (table × DM phase), created in catalog → store → web order
 within each phase.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from collections import defaultdict
 
 from repro.workloads.lst_bench import LstBenchRunner
@@ -105,3 +116,9 @@ def test_fig11_checkpoint_lifetimes(benchmark):
     assert first_catalog < first_web
 
     benchmark.extra_info["checkpoints"] = len(dw.sto.checkpoints)
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig11_checkpoint_lifetimes)

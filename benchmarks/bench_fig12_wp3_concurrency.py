@@ -12,6 +12,17 @@ recovers between the concurrent phases.
 Reproduction: the same phase sequence over the TPC-DS subset.
 """
 
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
 from repro.workloads.lst_bench import LstBenchRunner
 
 from benchmarks.support import fresh_warehouse, print_series, run_once
@@ -63,3 +74,9 @@ def test_fig12_wp3_concurrency(benchmark):
     assert su_opt < su_dm
 
     benchmark.extra_info["phases"] = {p.name: p.elapsed for p in phases}
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_fig12_wp3_concurrency)

@@ -5,13 +5,29 @@ Each benchmark drives simulated workloads and reports *simulated* seconds
 the paper shows.  pytest-benchmark wraps the driver for wall-time
 accounting; every workload runs exactly once (``rounds=1``) because the
 drivers are stateful.
+
+Every benchmark module is also directly runnable as a script::
+
+    python benchmarks/bench_fig07_ingestion_scaling.py --trace out.json
+
+``--trace`` enables span tracing on every warehouse the benchmark creates
+and writes one combined Chrome trace (load it at https://ui.perfetto.dev);
+``--metrics`` prints the metrics-registry snapshot after the run.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 from typing import Iterable, List, Sequence
 
 from repro import PolarisConfig, Warehouse
+from repro.telemetry import combined_chrome_trace, instances, tracing_instances
+
+#: Set by :func:`bench_main` when ``--trace`` / ``--metrics`` are given;
+#: :func:`bench_config` reads it so every warehouse a benchmark creates is
+#: instrumented without the benchmark knowing about telemetry.
+_SCRIPT_TELEMETRY = {"trace": False, "metrics": False}
 
 
 def run_once(benchmark, fn):
@@ -43,6 +59,10 @@ def bench_config(**overrides) -> PolarisConfig:
     config.sto.max_deleted_fraction = 0.2
     config.sto.checkpoint_manifest_threshold = 10
     config.sto.poll_interval_s = 60.0
+    if _SCRIPT_TELEMETRY["trace"]:
+        config.telemetry.enabled = True
+    if _SCRIPT_TELEMETRY["metrics"]:
+        config.telemetry.metrics = True
     for key, value in overrides.items():
         section, __, attr = key.partition("__")
         if attr:
@@ -61,3 +81,76 @@ def fresh_warehouse(elastic: bool = True, separate_pools: bool = True,
         separate_pools=separate_pools,
         auto_optimize=auto_optimize,
     )
+
+
+# -- script mode ---------------------------------------------------------------
+
+
+class _ScriptBenchmark:
+    """Stand-in for the pytest-benchmark fixture when run as a script."""
+
+    def __init__(self) -> None:
+        self.extra_info = {}
+
+    def pedantic(self, fn, rounds=1, iterations=1, **kwargs):
+        result = None
+        for _ in range(rounds * iterations):
+            result = fn()
+        return result
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+
+def bench_main(*bench_fns) -> None:
+    """Script entry point for a benchmark module.
+
+    Runs each ``bench_fn(benchmark)`` with a fake benchmark fixture, then
+    honours ``--trace OUT`` (write one combined Chrome trace covering all
+    warehouses the run created) and ``--metrics`` (print the registries'
+    snapshots).
+    """
+    parser = argparse.ArgumentParser(description=bench_fns[0].__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT",
+        default=None,
+        help="enable span tracing and write a combined Chrome trace JSON",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry snapshot after the run",
+    )
+    args = parser.parse_args()
+    if args.trace is not None:
+        # Fail on an unwritable path now, not after the whole run.
+        with open(args.trace, "w", encoding="utf-8"):
+            pass
+    _SCRIPT_TELEMETRY["trace"] = args.trace is not None
+    _SCRIPT_TELEMETRY["metrics"] = args.metrics
+
+    traced_before = len(tracing_instances())
+    metered_before = len(instances())
+    for fn in bench_fns:
+        fn(_ScriptBenchmark())
+
+    if args.trace is not None:
+        traced = tracing_instances()[traced_before:]
+        groups = [
+            (f"run{i}:" if len(traced) > 1 else "", tel.spans)
+            for i, tel in enumerate(traced, start=1)
+        ]
+        document = combined_chrome_trace(groups)
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            json.dump(document, fh)
+        spans = sum(len(g[1]) for g in groups)
+        print(f"\nwrote {spans} spans to {args.trace} (load at ui.perfetto.dev)")
+    if args.metrics:
+        for i, tel in enumerate(instances()[metered_before:], start=1):
+            snapshot = tel.metrics.snapshot()
+            if not snapshot:
+                continue
+            print(f"\n=== metrics (warehouse {i}) ===")
+            for key, value in sorted(snapshot.items()):
+                print(f"{key} = {value}")

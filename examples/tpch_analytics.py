@@ -5,18 +5,38 @@ runs all 22 benchmark queries over the LST storage — the same path the
 paper's Figure 9 experiment exercises — printing per-query simulated
 execution times and a sample of Q1's output.
 
-Run:  python examples/tpch_analytics.py [scale_factor]
+Run:  python examples/tpch_analytics.py [scale_factor] [--trace OUT.json]
+
+With ``--trace`` the whole run is recorded as hierarchical telemetry
+spans (transaction → statement → DCP task → storage request) and written
+as a Chrome trace; open it at https://ui.perfetto.dev to see every query
+laid out across the simulated compute nodes.  An EXPLAIN ANALYZE of Q1 is
+printed at the end of traced runs.
 """
 
-import sys
+import argparse
 
-from repro import Warehouse
+# Script mode: make ``repro`` importable without an installed package.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _SRC = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+from repro import PolarisConfig, Warehouse
 from repro.workloads.tpch import TPCH_QUERIES, TpchGenerator
 from repro.workloads.tpch.schema import TPCH_DISTRIBUTION, TPCH_SCHEMAS
 
 
-def main(scale_factor: float = 0.1) -> None:
-    dw = Warehouse(database="tpch")
+def main(scale_factor: float = 0.1, trace: "str | None" = None) -> None:
+    config = PolarisConfig()
+    if trace is not None:
+        config.telemetry.enabled = True
+    dw = Warehouse(database="tpch", config=config)
     session = dw.session()
     generator = TpchGenerator(scale_factor=scale_factor, seed=42)
 
@@ -57,6 +77,22 @@ def main(scale_factor: float = 0.1) -> None:
             )
         )
 
+    if trace is not None:
+        print("\nEXPLAIN ANALYZE Q1:")
+        print(session.explain_analyze(TPCH_QUERIES[1]()).text)
+        dw.telemetry.export_chrome(trace)
+        spans = len(dw.telemetry.spans)
+        print(f"\nwrote {spans} spans to {trace} (load at ui.perfetto.dev)")
+
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.1)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale_factor", nargs="?", type=float, default=0.1)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT",
+        default=None,
+        help="enable telemetry and write a Chrome trace JSON here",
+    )
+    args = parser.parse_args()
+    main(args.scale_factor, trace=args.trace)

@@ -15,7 +15,7 @@ Public entry point:
 See README.md for the full tour and DESIGN.md for the architecture.
 """
 
-from repro.common.config import PolarisConfig
+from repro.common.config import PolarisConfig, TelemetryConfig
 from repro.common.errors import (
     PolarisError,
     TransactionAbortedError,
@@ -65,6 +65,7 @@ __all__ = [
     "Lit",
     "Not",
     "PolarisConfig",
+    "TelemetryConfig",
     "PolarisError",
     "Project",
     "Schema",

@@ -71,6 +71,33 @@ class StoConfig:
 
 
 @dataclass
+class TelemetryConfig:
+    """End-to-end observability knobs (tracing, metrics, trace capture).
+
+    ``enabled`` turns on the hierarchical span tracer.  ``metrics`` keeps
+    the counters/gauges/histograms registry recording even when tracing is
+    off (cheap dict increments; the benchmarks read IO/latency totals from
+    it).  With both off the telemetry layer degrades to a handful of
+    attribute checks per operation — near-zero cost.
+    """
+
+    #: Master switch for hierarchical span tracing.
+    enabled: bool = False
+    #: Keep the metrics registry recording (independent of tracing).
+    metrics: bool = True
+    #: Record one span per object-store request (can be voluminous).
+    capture_storage_spans: bool = True
+    #: Mirror every EventBus event into the active span / metrics.
+    capture_bus_events: bool = True
+    #: Hard cap on retained finished spans (overflow counts as dropped).
+    max_spans: int = 250_000
+    #: Reservoir size per histogram (percentiles are exact below this).
+    histogram_max_samples: int = 4096
+    #: SQL statement text is truncated to this many chars in span attrs.
+    sql_text_limit: int = 200
+
+
+@dataclass
 class TransactionConfig:
     """Transaction-manager behaviour (Section 4)."""
 
@@ -91,6 +118,7 @@ class PolarisConfig:
     dcp: DcpConfig = field(default_factory=DcpConfig)
     sto: StoConfig = field(default_factory=StoConfig)
     txn: TransactionConfig = field(default_factory=TransactionConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     #: Target rows per data cell; drives how DML output is split into files.
     rows_per_cell: int = 100_000
     #: Rows per row group inside data files (zone-map granularity).
@@ -112,3 +140,7 @@ class PolarisConfig:
             raise ValueError("distributions must be positive")
         if self.rows_per_cell <= 0:
             raise ValueError("rows_per_cell must be positive")
+        if self.telemetry.max_spans <= 0:
+            raise ValueError("telemetry.max_spans must be positive")
+        if self.telemetry.histogram_max_samples <= 0:
+            raise ValueError("telemetry.histogram_max_samples must be positive")

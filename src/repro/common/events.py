@@ -22,19 +22,53 @@ class Event:
     payload: Dict[str, Any] = field(default_factory=dict)
 
 
+#: Topic that receives every event regardless of its actual topic.
+WILDCARD = "*"
+
+
 class EventBus:
-    """Synchronous publish/subscribe hub keyed by topic string."""
+    """Synchronous publish/subscribe hub keyed by topic string.
+
+    Subscribing to the wildcard topic ``"*"`` delivers *every* event (the
+    telemetry layer taps the bus this way).  Handlers can be removed again
+    with :meth:`unsubscribe`, so long-lived deployments that attach and
+    detach observers do not leak handler references.
+    """
 
     def __init__(self) -> None:
         self._subscribers: Dict[str, List[Callable[[Event], None]]] = defaultdict(list)
 
     def subscribe(self, topic: str, handler: Callable[[Event], None]) -> None:
-        """Register ``handler`` for every future event on ``topic``."""
+        """Register ``handler`` for every future event on ``topic``.
+
+        ``topic`` may be the wildcard ``"*"`` to observe all topics.
+        """
         self._subscribers[topic].append(handler)
 
+    def unsubscribe(self, topic: str, handler: Callable[[Event], None]) -> bool:
+        """Remove one registration of ``handler`` from ``topic``.
+
+        Returns whether a registration was found and removed (idempotent:
+        unsubscribing an unknown handler is not an error).
+        """
+        handlers = self._subscribers.get(topic)
+        if handlers is None or handler not in handlers:
+            return False
+        handlers.remove(handler)
+        if not handlers:
+            del self._subscribers[topic]
+        return True
+
     def publish(self, topic: str, **payload: Any) -> Event:
-        """Publish an event; all handlers run before this returns."""
+        """Publish an event; all handlers run before this returns.
+
+        Topic subscribers fire first (in subscription order), then
+        wildcard subscribers.
+        """
         event = Event(topic=topic, payload=dict(payload))
         for handler in list(self._subscribers.get(topic, ())):
             handler(event)
+        if topic != WILDCARD:
+            for handler in list(self._subscribers.get(WILDCARD, ())):
+                handler(event)
         return event

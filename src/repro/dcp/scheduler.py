@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.common.clock import SimulatedClock
 from repro.common.config import DcpConfig
@@ -30,6 +30,9 @@ from repro.dcp.tasks import Task, TaskContext, TaskRun
 from repro.dcp.topology import ComputeNode, Topology
 from repro.dcp.wlm import WorkloadManager
 from repro.storage.object_store import ObjectStore
+
+if TYPE_CHECKING:
+    from repro.telemetry.facade import Telemetry
 
 
 @dataclass
@@ -61,11 +64,13 @@ class Scheduler:
         store: ObjectStore,
         cost_model: CostModel,
         config: DcpConfig,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         self._clock = clock
         self._store = store
         self._cost_model = cost_model
         self._config = config
+        self._telemetry = telemetry
         self._failure_rng = random.Random(config.task_failure_seed)
 
     def execute(
@@ -84,6 +89,12 @@ class Scheduler:
         if (wlm is None) == (topology is None):
             raise ValueError("provide exactly one of wlm or topology")
         base_time = self._clock.now
+        tel = self._telemetry
+        dag_span = (
+            tel.start_span("dcp.dag", "dcp", tasks=len(dag.tasks))
+            if tel is not None and tel.tracing
+            else None
+        )
         # Slot timelines deliberately persist across DAGs: a pool still busy
         # with an earlier (logically concurrent) statement delays this one,
         # which is how read/write contention appears when workload
@@ -94,19 +105,40 @@ class Scheduler:
         runs: Dict[str, TaskRun] = {}
         total_retries = 0
 
-        for task_id in dag.topological_order():
-            task = dag.tasks[task_id]
-            pool = topology if topology is not None else wlm.pool(task.pool)
-            ready = max(
-                [finish[up] for up in dag.upstream_of(task_id)] + [base_time]
-            )
-            run, result = self._run_task(task, pool, ready, dag, results)
-            finish[task_id] = run.finish
-            results[task_id] = result
-            runs[task_id] = run
-            total_retries += run.attempts - 1
+        activation = tel.activate(dag_span) if tel is not None else None
+        try:
+            if activation is not None:
+                activation.__enter__()
+            for task_id in dag.topological_order():
+                task = dag.tasks[task_id]
+                pool = topology if topology is not None else wlm.pool(task.pool)
+                ready = max(
+                    [finish[up] for up in dag.upstream_of(task_id)] + [base_time]
+                )
+                run, result = self._run_task(task, pool, ready, dag, results)
+                finish[task_id] = run.finish
+                results[task_id] = result
+                runs[task_id] = run
+                total_retries += run.attempts - 1
+        except BaseException as exc:
+            if tel is not None:
+                tel.end_span(
+                    dag_span, status="error", **{"error.type": type(exc).__name__}
+                )
+            raise
+        finally:
+            if activation is not None:
+                activation.__exit__(None, None, None)
 
         finished_at = max(finish.values(), default=base_time)
+        if tel is not None:
+            if tel.metering:
+                tel.metrics.counter("dcp.dags").inc()
+                tel.metrics.counter("dcp.task_retries").inc(total_retries)
+                tel.metrics.histogram("dcp.dag_makespan_s").observe(
+                    finished_at - base_time
+                )
+            tel.end_span(dag_span, end_time=finished_at, retries=total_retries)
         if advance_clock:
             self._clock.advance_to(finished_at)
         return DagResult(
@@ -131,6 +163,8 @@ class Scheduler:
             task.est_rows, task.est_files, task.est_bytes
         )
         inputs = {up: results[up] for up in dag.upstream_of(task.task_id)}
+        tel = self._telemetry
+        tracing = tel is not None and tel.tracing
         first_start: Optional[float] = None
         attempt = 0
         while attempt <= self._config.max_task_retries:
@@ -139,21 +173,51 @@ class Scheduler:
             start = max(node.slot_free_at[slot], ready)
             if first_start is None:
                 first_start = start
+            span = (
+                tel.start_span(
+                    task.label,
+                    "dcp.task",
+                    track=f"node:{node.node_id}",
+                    tid=slot + 1,
+                    start_time=start,
+                    pool=task.pool,
+                    attempt=attempt,
+                    est_rows=task.est_rows,
+                )
+                if tracing
+                else None
+            )
             if self._attempt_fails(task, attempt):
                 # The failed attempt burns half its budget, then the task is
                 # re-scheduled; its private files/blocks become GC orphans.
                 node.slot_free_at[slot] = start + duration * 0.5
                 ready = start + duration * 0.5
+                self._record_attempt(
+                    tel, span, start + duration * 0.5, "error", "injected failure"
+                )
                 continue
             context = TaskContext(node_id=node.node_id, attempt=attempt, inputs=inputs)
             try:
-                with self._store.latency_suspended():
-                    result = task.fn(context)
-            except TransientStorageError:
+                if span is not None:
+                    with tel.activate(span), self._store.latency_suspended():
+                        result = task.fn(context)
+                else:
+                    with self._store.latency_suspended():
+                        result = task.fn(context)
+            except TransientStorageError as exc:
                 node.slot_free_at[slot] = start + duration * 0.5
                 ready = start + duration * 0.5
+                self._record_attempt(
+                    tel, span, start + duration * 0.5, "error", str(exc)
+                )
                 continue
             node.slot_free_at[slot] = start + duration
+            self._record_attempt(tel, span, start + duration, "ok", None)
+            if tel is not None and tel.metering:
+                tel.metrics.counter("dcp.tasks", pool=task.pool).inc()
+                tel.metrics.histogram("dcp.task_duration_s", pool=task.pool).observe(
+                    duration
+                )
             run = TaskRun(
                 task_id=task.task_id,
                 node_id=node.node_id,
@@ -166,6 +230,15 @@ class Scheduler:
         raise TaskFailedError(
             f"task {task.task_id!r} failed after {attempt} attempts"
         )
+
+    @staticmethod
+    def _record_attempt(tel, span, end_time, status, error) -> None:
+        if tel is None or span is None:
+            return
+        attributes = {} if error is None else {"error.message": error}
+        tel.end_span(span, status=status, end_time=end_time, **attributes)
+        if status != "ok" and tel.metering:
+            tel.metrics.counter("dcp.task_failures").inc()
 
     def _attempt_fails(self, task: Task, attempt: int) -> bool:
         if attempt in task.fail_on_attempts:

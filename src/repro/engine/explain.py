@@ -1,13 +1,24 @@
-"""EXPLAIN: render logical plans and expressions as readable text.
+"""EXPLAIN and EXPLAIN ANALYZE: plans as readable, annotated text.
 
 ``explain(plan)`` returns the operator tree, one node per line, with the
 scans' pushed-down projections, predicates and pruning conjuncts — the
 compiled-plan view the SQL FE would show for a statement.
+
+``explain_analyze(plan, scan_source)`` *executes* the plan and annotates
+every operator with rows produced and simulated time; scans additionally
+report file- and row-group-level pruning counts when the scan source
+provides them (the FE read path does).  The result carries the output
+batch, the annotated text, and the per-operator stats.
 """
 
 from __future__ import annotations
 
-from typing import List
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.errors import PlanError
+from repro.engine import operators
+from repro.engine.batch import Batch, num_rows
 
 from repro.engine.expressions import (
     BinOp,
@@ -72,8 +83,153 @@ def explain(plan: Plan) -> str:
     return "\n".join(lines)
 
 
-def _walk(plan: Plan, depth: int, lines: List[str]) -> None:
+@dataclass
+class OperatorStats:
+    """Measured execution stats of one plan operator."""
+
+    #: Rows the operator produced.
+    rows: int
+    #: Simulated seconds attributed to the operator (measured for scans,
+    #: cost-model estimated for root-side operators; None if unknown).
+    sim_time_s: Optional[float] = None
+    #: Scan-only extras: files/files_pruned, row_groups/row_groups_pruned,
+    #: cells — whatever the scan source reported.
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class AnalyzeResult:
+    """Outcome of :func:`explain_analyze`: output plus annotations."""
+
+    batch: Batch
+    text: str
+    #: Per-operator stats keyed by ``id(plan_node)``.
+    stats: Dict[int, OperatorStats]
+
+    def stats_for(self, node: Plan) -> OperatorStats:
+        """The stats recorded for one plan node."""
+        return self.stats[id(node)]
+
+
+def explain_analyze(
+    plan: Plan,
+    scan_source: Callable[[TableScan], Batch],
+    *,
+    clock=None,
+    cost_model=None,
+    scan_details: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> AnalyzeResult:
+    """Execute ``plan`` and annotate each operator with observed stats.
+
+    ``scan_source`` resolves scans exactly as in
+    :func:`repro.engine.executor.execute_plan`.  Scan timing comes from
+    ``scan_details[id(scan)]["sim_time_s"]`` when the caller pre-measured
+    it (the FE read path), else from ``clock`` deltas around the scan
+    call.  Root-side operators are costed with ``cost_model`` over their
+    input rows — the same first-order model the FE charges the clock with.
+    """
+    stats: Dict[int, OperatorStats] = {}
+    batch = _run_analyzed(
+        plan, scan_source, stats, clock, cost_model, scan_details or {}
+    )
+    lines: List[str] = []
+    _walk(plan, 0, lines, annotate=lambda node: _annotation(stats.get(id(node))))
+    return AnalyzeResult(batch=batch, text="\n".join(lines), stats=stats)
+
+
+def _run_analyzed(
+    plan: Plan,
+    scan_source: Callable[[TableScan], Batch],
+    stats: Dict[int, OperatorStats],
+    clock,
+    cost_model,
+    scan_details: Dict[int, Dict[str, Any]],
+) -> Batch:
+    def recurse(node: Plan) -> Batch:
+        return _run_analyzed(
+            node, scan_source, stats, clock, cost_model, scan_details
+        )
+
+    if isinstance(plan, TableScan):
+        started = clock.now if clock is not None else None
+        batch = scan_source(plan)
+        missing = [c for c in plan.columns if c not in batch]
+        if missing:
+            raise PlanError(f"scan of {plan.table!r} missing columns {missing}")
+        out = {name: batch[name] for name in plan.columns}
+        details = dict(scan_details.get(id(plan), {}))
+        elapsed = details.pop("sim_time_s", None)
+        if elapsed is None and started is not None:
+            elapsed = clock.now - started
+        stats[id(plan)] = OperatorStats(
+            rows=num_rows(out), sim_time_s=elapsed, details=details
+        )
+        return out
+
+    if isinstance(plan, Filter):
+        children = [recurse(plan.child)]
+        result = operators.filter_batch(children[0], plan.predicate)
+    elif isinstance(plan, Project):
+        children = [recurse(plan.child)]
+        result = operators.project(children[0], plan.outputs)
+    elif isinstance(plan, Join):
+        children = [recurse(plan.left), recurse(plan.right)]
+        result = operators.hash_join(
+            children[0], children[1], plan.left_keys, plan.right_keys, plan.how
+        )
+    elif isinstance(plan, Aggregate):
+        children = [recurse(plan.child)]
+        result = operators.aggregate(children[0], plan.group_keys, plan.aggs)
+    elif isinstance(plan, Sort):
+        children = [recurse(plan.child)]
+        result = operators.sort(children[0], plan.keys)
+    elif isinstance(plan, Limit):
+        children = [recurse(plan.child)]
+        result = operators.limit(children[0], plan.count)
+    else:
+        raise PlanError(f"unknown plan node {plan!r}")
+
+    input_rows = sum(num_rows(child) for child in children)
+    est = (
+        cost_model.task_duration(input_rows, 0, 0)
+        if cost_model is not None
+        else None
+    )
+    stats[id(plan)] = OperatorStats(rows=num_rows(result), sim_time_s=est)
+    return result
+
+
+def _annotation(node_stats: Optional[OperatorStats]) -> str:
+    if node_stats is None:
+        return ""
+    parts = [f"rows={node_stats.rows}"]
+    if node_stats.sim_time_s is not None:
+        parts.append(f"time={node_stats.sim_time_s:.3f}s")
+    details = node_stats.details
+    if "files" in details:
+        parts.append(
+            f"files={details['files'] - details.get('files_pruned', 0)}"
+            f"/{details['files']}"
+        )
+    if details.get("files_pruned"):
+        parts.append(f"files_pruned={details['files_pruned']}")
+    if "row_groups" in details:
+        parts.append(f"row_groups={details['row_groups']}")
+    if details.get("row_groups_pruned"):
+        parts.append(f"row_groups_pruned={details['row_groups_pruned']}")
+    if "cells" in details:
+        parts.append(f"cells={details['cells']}")
+    return "  (" + " ".join(parts) + ")"
+
+
+def _walk(
+    plan: Plan,
+    depth: int,
+    lines: List[str],
+    annotate: Optional[Callable[[Plan], str]] = None,
+) -> None:
     pad = "  " * depth
+    suffix = annotate(plan) if annotate is not None else ""
     if isinstance(plan, TableScan):
         line = f"{pad}Scan {plan.table} [{', '.join(plan.columns)}]"
         if plan.predicate is not None:
@@ -81,26 +237,26 @@ def _walk(plan: Plan, depth: int, lines: List[str]) -> None:
         if plan.prune:
             conjuncts = " AND ".join(f"{c} {op} {v!r}" for c, op, v in plan.prune)
             line += f" prune=({conjuncts})"
-        lines.append(line)
+        lines.append(line + suffix)
         return
     if isinstance(plan, Filter):
-        lines.append(f"{pad}Filter {format_expr(plan.predicate)}")
-        _walk(plan.child, depth + 1, lines)
+        lines.append(f"{pad}Filter {format_expr(plan.predicate)}" + suffix)
+        _walk(plan.child, depth + 1, lines, annotate)
         return
     if isinstance(plan, Project):
         outputs = ", ".join(
             f"{name}={format_expr(expr)}" for name, expr in plan.outputs.items()
         )
-        lines.append(f"{pad}Project [{outputs}]")
-        _walk(plan.child, depth + 1, lines)
+        lines.append(f"{pad}Project [{outputs}]" + suffix)
+        _walk(plan.child, depth + 1, lines, annotate)
         return
     if isinstance(plan, Join):
         keys = ", ".join(
             f"{l}={r}" for l, r in zip(plan.left_keys, plan.right_keys)
         )
-        lines.append(f"{pad}HashJoin[{plan.how}] on ({keys})")
-        _walk(plan.left, depth + 1, lines)
-        _walk(plan.right, depth + 1, lines)
+        lines.append(f"{pad}HashJoin[{plan.how}] on ({keys})" + suffix)
+        _walk(plan.left, depth + 1, lines, annotate)
+        _walk(plan.right, depth + 1, lines, annotate)
         return
     if isinstance(plan, Aggregate):
         keys = ", ".join(plan.group_keys) if plan.group_keys else "<global>"
@@ -108,18 +264,18 @@ def _walk(plan: Plan, depth: int, lines: List[str]) -> None:
             f"{name}={func}({format_expr(expr) if expr is not None else '*'})"
             for name, (func, expr) in plan.aggs.items()
         )
-        lines.append(f"{pad}Aggregate group=[{keys}] [{aggs}]")
-        _walk(plan.child, depth + 1, lines)
+        lines.append(f"{pad}Aggregate group=[{keys}] [{aggs}]" + suffix)
+        _walk(plan.child, depth + 1, lines, annotate)
         return
     if isinstance(plan, Sort):
         keys = ", ".join(
             f"{column} {'ASC' if asc else 'DESC'}" for column, asc in plan.keys
         )
-        lines.append(f"{pad}Sort [{keys}]")
-        _walk(plan.child, depth + 1, lines)
+        lines.append(f"{pad}Sort [{keys}]" + suffix)
+        _walk(plan.child, depth + 1, lines, annotate)
         return
     if isinstance(plan, Limit):
-        lines.append(f"{pad}Limit {plan.count}")
-        _walk(plan.child, depth + 1, lines)
+        lines.append(f"{pad}Limit {plan.count}" + suffix)
+        _walk(plan.child, depth + 1, lines, annotate)
         return
     raise TypeError(f"unknown plan node {plan!r}")

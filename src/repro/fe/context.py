@@ -22,6 +22,7 @@ from repro.dcp.wlm import WorkloadManager
 from repro.lst.cache import SnapshotCache
 from repro.sqldb.engine import SqlDbEngine
 from repro.storage.object_store import ObjectStore
+from repro.telemetry.facade import Telemetry
 
 
 @dataclass
@@ -40,6 +41,8 @@ class ServiceContext:
     cache: SnapshotCache
     guids: GuidGenerator
     bus: EventBus
+    #: Span tracing + metrics for the whole deployment.
+    telemetry: Telemetry
     #: Whether the deployment sizes pools per statement (serverless Fabric
     #: model) or keeps the fixed provisioned size (Synapse SQL DW model) —
     #: the contrast of Figure 8.
@@ -61,11 +64,18 @@ class ServiceContext:
         config = config or PolarisConfig()
         config.validate()
         clock = SimulatedClock()
-        store = ObjectStore(clock=clock, config=config.storage)
+        telemetry = Telemetry(clock, config.telemetry)
+        store = ObjectStore(
+            clock=clock, config=config.storage, telemetry=telemetry
+        )
         sqldb = SqlDbEngine(clock=clock)
         cost_model = CostModel(config.dcp, config.storage)
-        scheduler = Scheduler(clock, store, cost_model, config.dcp)
+        scheduler = Scheduler(
+            clock, store, cost_model, config.dcp, telemetry=telemetry
+        )
         wlm = WorkloadManager(config.dcp, separate_pools=separate_pools)
+        bus = EventBus()
+        telemetry.attach_bus(bus)
         context = cls(
             database=database,
             config=config,
@@ -78,7 +88,8 @@ class ServiceContext:
             cost_model=cost_model,
             cache=None,  # type: ignore[arg-type]  -- set just below
             guids=GuidGenerator(seed=config.seed),
-            bus=EventBus(),
+            bus=bus,
+            telemetry=telemetry,
             elastic=elastic,
         )
         # The cache's loaders need the context (store + sqldb), so it is

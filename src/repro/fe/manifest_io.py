@@ -25,7 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 def load_manifest_actions(context: "ServiceContext", path: str) -> List[Action]:
     """Fetch and decode one manifest file from the object store."""
-    return decode_manifest(with_retries(lambda: context.store.get(path)).data)
+    blob = with_retries(
+        lambda: context.store.get(path),
+        telemetry=context.telemetry,
+        label="manifest_load",
+    )
+    return decode_manifest(blob.data)
 
 
 def make_snapshot_cache(context: "ServiceContext") -> SnapshotCache:
@@ -66,7 +71,11 @@ def make_snapshot_cache(context: "ServiceContext") -> SnapshotCache:
         if row is None:
             return None
         try:
-            blob = with_retries(lambda: context.store.get(row["path"]))
+            blob = with_retries(
+                lambda: context.store.get(row["path"]),
+                telemetry=context.telemetry,
+                label="checkpoint_load",
+            )
         except BlobNotFoundError:
             return None
         return Checkpoint.from_bytes(blob.data).snapshot

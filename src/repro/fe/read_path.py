@@ -13,13 +13,14 @@ autonomous compaction.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.dcp.cells import cells_for_snapshot
 from repro.dcp.dag import WorkflowDag
 from repro.dcp.tasks import Task, TaskContext
 from repro.engine.batch import Batch, concat_batches, empty_batch, num_rows
 from repro.engine.executor import execute_plan
+from repro.engine.explain import AnalyzeResult, explain_analyze
 from repro.engine.operators import filter_batch
 from repro.engine.planner import Plan, TableScan, scans_of
 from repro.engine.statistics import collect_stats
@@ -37,11 +38,15 @@ def scan_table(
     txn: PolarisTransaction,
     scan: TableScan,
     snapshot_override: "TableSnapshot | None" = None,
+    report: Optional[Dict[str, Any]] = None,
 ) -> Batch:
     """Execute one distributed table scan within ``txn``'s snapshot.
 
     ``snapshot_override`` substitutes an explicit snapshot (Query As Of,
-    Section 6.1) for the transaction's own view.
+    Section 6.1) for the transaction's own view.  A ``report`` dict, when
+    given, is filled with EXPLAIN ANALYZE counters: files scanned vs.
+    pruned (zone maps at manifest level), row groups scanned vs. pruned
+    (zone maps inside page files), cells scheduled, and rows produced.
     """
     table_row = describe_table(txn.root, scan.table)
     table_id = table_row["table_id"]
@@ -56,13 +61,22 @@ def scan_table(
     full_snapshot = snapshot
     if scan.prune:
         snapshot = _prune_snapshot(snapshot, scan.prune)
+    if report is not None:
+        report["files"] = len(full_snapshot.files)
+        report["files_pruned"] = len(full_snapshot.files) - len(snapshot.files)
+        report["row_groups"] = 0
+        report["row_groups_pruned"] = 0
     cells = [
         cell
         for cell in cells_for_snapshot(table_id, snapshot, context.config.distributions)
         if cell.files
     ]
+    if report is not None:
+        report["cells"] = len(cells)
     if not cells:
         _publish_scan_stats(context, table_id, full_snapshot)
+        if report is not None:
+            report["rows"] = 0
         return empty_batch(scan.columns)
 
     dag = WorkflowDag()
@@ -73,6 +87,10 @@ def scan_table(
             parts: List[Batch] = []
             for info in cell.files:
                 reader = PageFileReader(context.store.get(info.path).data)
+                if report is not None:
+                    scanned_groups, pruned_groups = reader.prune_counts(prune)
+                    report["row_groups"] += scanned_groups
+                    report["row_groups_pruned"] += pruned_groups
                 dv = _load_dv(context, snapshot.dv_for(info.name))
                 batch = reader.read(
                     columns=list(scan.columns),
@@ -106,7 +124,10 @@ def scan_table(
         if num_rows(result.results[task_id])
     ]
     _publish_scan_stats(context, table_id, full_snapshot)
-    return concat_batches(parts) if parts else empty_batch(scan.columns)
+    out = concat_batches(parts) if parts else empty_batch(scan.columns)
+    if report is not None:
+        report["rows"] = num_rows(out)
+    return out
 
 
 def execute_query(
@@ -139,6 +160,49 @@ def execute_query(
         scan_rows += num_rows(batch)
 
     result = execute_plan(plan, source)
+    root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
+    context.clock.advance(root_cost)
+    return result
+
+
+def execute_query_analyzed(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    plan: Plan,
+    as_of: "float | None" = None,
+) -> AnalyzeResult:
+    """EXPLAIN ANALYZE: run ``plan`` like :func:`execute_query`, annotated.
+
+    Identical execution path — distributed scans through the DCP, residual
+    plan at the root, root CPU cost charged to the clock — but every scan
+    collects a pruning/row report and every operator is timed, so the
+    result carries the annotated operator tree alongside the batch.
+    """
+    scanned: Dict[int, Batch] = {}
+    scan_details: Dict[int, Dict[str, Any]] = {}
+    scan_rows = 0
+
+    def source(scan: TableScan) -> Batch:
+        return scanned[id(scan)]
+
+    for scan in scans_of(plan):
+        override = None
+        if as_of is not None:
+            table_row = describe_table(txn.root, scan.table)
+            override = snapshot_as_of(context, table_row["table_id"], as_of)
+        started = context.clock.now
+        report: Dict[str, Any] = {}
+        batch = scan_table(
+            context, txn, scan, snapshot_override=override, report=report
+        )
+        report["sim_time_s"] = context.clock.now - started
+        scanned[id(scan)] = batch
+        scan_details[id(scan)] = report
+        scan_rows += num_rows(batch)
+
+    result = explain_analyze(
+        plan, source, cost_model=context.cost_model, scan_details=scan_details
+    )
     root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
     context.clock.advance(root_cost)
     return result

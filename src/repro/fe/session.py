@@ -87,7 +87,9 @@ class Session:
             lambda txn: ddl.create_table(
                 self._context, txn.root, name, schema,
                 distribution_column, sort_column, unique_column,
-            )
+            ),
+            name="create_table",
+            table=name,
         )
 
     def insert(self, table: str, batch: Batch) -> int:
@@ -98,7 +100,7 @@ class Session:
             constraints.check_unique(self._context, txn, table_row, batch)
             return write_path.execute_insert(self._context, txn, table_row, batch)
 
-        return self._run(statement)
+        return self._run(statement, name="insert", table=table)
 
     def bulk_load(self, table: str, source_batches: Sequence[Batch]) -> int:
         """Bulk load from multiple source files; returns total rows."""
@@ -123,7 +125,7 @@ class Session:
                 self._context, txn, table_row, source_batches
             )
 
-        return self._run(statement)
+        return self._run(statement, name="bulk_load", table=table)
 
     def delete(
         self,
@@ -135,7 +137,9 @@ class Session:
         return self._run(
             lambda txn: write_path.execute_delete(
                 self._context, txn, ddl.describe_table(txn.root, table), predicate, prune
-            )
+            ),
+            name="delete",
+            table=table,
         )
 
     def update(
@@ -154,13 +158,33 @@ class Session:
                 predicate,
                 assignments,
                 prune,
-            )
+            ),
+            name="update",
+            table=table,
         )
 
     def query(self, plan: Plan, as_of: Optional[float] = None) -> Batch:
         """Execute a query plan; with ``as_of``, time-travel the scans."""
         return self._run(
-            lambda txn: read_path.execute_query(self._context, txn, plan, as_of=as_of)
+            lambda txn: read_path.execute_query(self._context, txn, plan, as_of=as_of),
+            name="query",
+        )
+
+    def explain_analyze(
+        self, plan: Plan, as_of: Optional[float] = None
+    ) -> "read_path.AnalyzeResult":
+        """EXPLAIN ANALYZE: execute ``plan`` and annotate its operators.
+
+        Runs exactly like :meth:`query` (same DCP scans, same clock
+        charges) but returns an :class:`~repro.engine.explain.AnalyzeResult`
+        whose ``text`` shows per-operator rows, simulated time, and file /
+        row-group pruning counts, with the output batch on ``.batch``.
+        """
+        return self._run(
+            lambda txn: read_path.execute_query_analyzed(
+                self._context, txn, plan, as_of=as_of
+            ),
+            name="explain_analyze",
         )
 
     def clone_table(
@@ -170,7 +194,9 @@ class Session:
         return self._run(
             lambda txn: clone_mod.clone_table(
                 self._context, txn.root, source, target, as_of
-            )
+            ),
+            name="clone_table",
+            table=source,
         )
 
     # -- introspection --------------------------------------------------------------
@@ -194,7 +220,7 @@ class Session:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _run(self, statement):
+    def _run(self, statement, name: str = "statement", **span_attrs):
         """Execute a statement in the active or an auto-commit transaction.
 
         Auto-commit statements whose validation hits a write-write conflict
@@ -204,15 +230,19 @@ class Session:
         otherwise".  Statements inside an explicit transaction are never
         retried: the whole user transaction aborted, and only the user can
         decide to re-run it.
+
+        Every execution runs under a statement span that is a child of the
+        transaction's root span, so traces show statement nesting for both
+        explicit and auto-commit transactions.
         """
         if self._txn is not None and self._txn.is_active:
-            return statement(self._txn)
+            return self._traced(statement, self._txn, name, span_attrs)
         attempts = 1 + max(0, self._context.config.txn.commit_retries)
         for attempt in range(1, attempts + 1):
             txn = PolarisTransaction(self._context)
             txn.retries = attempt - 1
             try:
-                result = statement(txn)
+                result = self._traced(statement, txn, name, span_attrs)
             except BaseException:
                 txn.rollback()
                 raise
@@ -224,3 +254,12 @@ class Session:
                 continue
             return result
         raise AssertionError("unreachable")
+
+    def _traced(self, statement, txn, name, span_attrs):
+        """Run one statement body under a span parented to the transaction."""
+        tel = self._context.telemetry
+        if not tel.tracing:
+            return statement(txn)
+        with tel.activate(txn.span):
+            with tel.span("stmt." + name, "statement", **span_attrs):
+                return statement(txn)

@@ -73,6 +73,15 @@ class PolarisTransaction:
         self.guid = context.guids.next()
         self._writes: Dict[int, TableWriteState] = {}
         self.retries = 0
+        #: Root telemetry span covering the whole transaction (None when
+        #: tracing is off).  Statements activate it as their parent.
+        self.span = context.telemetry.start_span(
+            "txn", "txn", txid=self.txid, isolation=level.value
+        )
+
+    def _end_span(self, status: str, **attributes) -> None:
+        if self.span is not None:
+            self._context.telemetry.end_span(self.span, status=status, **attributes)
 
     # -- status ----------------------------------------------------------------
 
@@ -168,7 +177,9 @@ class PolarisTransaction:
         with_retries(
             lambda: self._context.store.commit_block_list(
                 state.manifest_path, state.committed_block_ids
-            )
+            ),
+            telemetry=self._context.telemetry,
+            label="manifest_flush",
         )
         state.actions.extend(new_actions)
 
@@ -187,12 +198,18 @@ class PolarisTransaction:
         writer = BlockBlobClient(
             self._context.store, state.manifest_path, self._context.guids
         )
-        block_id = with_retries(lambda: writer.write_block(encode_actions(net)))
+        block_id = with_retries(
+            lambda: writer.write_block(encode_actions(net)),
+            telemetry=self._context.telemetry,
+            label="manifest_rewrite",
+        )
         state.committed_block_ids = [block_id]
         with_retries(
             lambda: self._context.store.commit_block_list(
                 state.manifest_path, [block_id]
-            )
+            ),
+            telemetry=self._context.telemetry,
+            label="manifest_rewrite",
         )
         return orphans
 
@@ -208,6 +225,28 @@ class PolarisTransaction:
         changes, and the error propagates to the caller.
         """
         self._require_active()
+        tel = self._context.telemetry
+        try:
+            with tel.activate(self.span):
+                with tel.span("txn.commit", "txn", txid=self.txid):
+                    commit_seq = self._validate_and_commit()
+        except BaseException as exc:
+            # The loser of a first-committer-wins race (or any other
+            # validation failure) keeps its span — marked failed, never
+            # dropped — so conflict storms are visible in traces.
+            self._end_span("error", **{"error.type": type(exc).__name__})
+            if tel.metering:
+                tel.metrics.counter(
+                    "txn.commit_failures", error=type(exc).__name__
+                ).inc()
+            raise
+        self._end_span("ok", commit_seq=commit_seq)
+        if tel.metering:
+            tel.metrics.counter("txn.commits").inc()
+        return commit_seq
+
+    def _validate_and_commit(self) -> Optional[int]:
+        """The validation-phase body of :meth:`commit` (Section 4.1.2)."""
         dirty = [s for s in self._writes.values() if s.actions]
         granularity = self._context.config.txn.conflict_granularity
         for state in dirty:
@@ -252,6 +291,9 @@ class PolarisTransaction:
         """Abort: discard catalog changes; private files become GC orphans."""
         if self.root.state is TxnState.ACTIVE:
             self.root.abort()
+            self._end_span("rollback")
+            if self._context.telemetry.metering:
+                self._context.telemetry.metrics.counter("txn.rollbacks").inc()
 
     # -- introspection ----------------------------------------------------------------
 

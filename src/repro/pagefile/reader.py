@@ -81,6 +81,21 @@ class PageFileReader:
             result["__pos__"] = _concat(np.dtype(np.int64), position_parts)
         return result
 
+    def prune_counts(
+        self, prune: Optional[List[Tuple[str, str, Any]]]
+    ) -> Tuple[int, int]:
+        """``(scanned, pruned)`` row-group counts for a prune predicate.
+
+        Used by EXPLAIN ANALYZE to report zone-map effectiveness without
+        altering the read itself.
+        """
+        if not prune:
+            return len(self._meta.row_groups), 0
+        pruned = sum(
+            1 for group in self._meta.row_groups if self._skip_group(group, prune)
+        )
+        return len(self._meta.row_groups) - pruned, pruned
+
     def live_row_count(self, deletion_vector: Optional[DeletionVector]) -> int:
         """Row count after subtracting deleted rows."""
         if deletion_vector is None:

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import re
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.engine.batch import Batch
+from repro.engine.explain import AnalyzeResult, explain as explain_plan
 from repro.engine.expressions import Lit
 from repro.fe.catalog import describe_table, table_schema
 from repro.fe.session import Session
@@ -33,12 +35,32 @@ class SqlSession:
     >>> sql.execute("SELECT id, v FROM t WHERE v > 3")
     """
 
+    _EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\s+", re.IGNORECASE)
+
     def __init__(self, session: Session) -> None:
         self.session = session
 
     def execute(self, text: str):
-        """Run one statement; SELECTs return a batch, DML a row count."""
+        """Run one statement; SELECTs return a batch, DML a row count.
+
+        ``EXPLAIN SELECT ...`` returns the compiled plan as text without
+        executing; ``EXPLAIN ANALYZE SELECT ...`` executes the query and
+        returns the operator tree annotated with rows, simulated time and
+        pruning counts.
+        """
+        match = self._EXPLAIN_RE.match(text)
+        if match:
+            return self._explain(text[match.end():], analyze=bool(match.group(1)))
         statement = parse(text)
+        tel = self.session._context.telemetry
+        if not tel.tracing:
+            return self._dispatch(statement)
+        kind = type(statement).__name__.replace("Statement", "").lower()
+        clipped = text.strip()[: tel.config.sql_text_limit]
+        with tel.span("sql." + kind, "sql", sql=clipped):
+            return self._dispatch(statement)
+
+    def _dispatch(self, statement):
         if isinstance(statement, SelectStatement):
             return self._select(statement)
         if isinstance(statement, InsertStatement):
@@ -52,6 +74,18 @@ class SqlSession:
         if isinstance(statement, TransactionStatement):
             return self._transaction(statement)
         raise SqlSyntaxError(f"unsupported statement {statement!r}")
+
+    def _explain(self, select_text: str, analyze: bool):
+        """EXPLAIN: plan text; EXPLAIN ANALYZE: executed, annotated text."""
+        statement = parse(select_text)
+        if not isinstance(statement, SelectStatement):
+            raise SqlSyntaxError("EXPLAIN supports only SELECT statements")
+        tables = [statement.table] + [j.table for j in statement.joins]
+        plan = Binder(self._schemas_for(tables)).bind_select(statement)
+        if not analyze:
+            return explain_plan(plan)
+        result: AnalyzeResult = self.session.explain_analyze(plan)
+        return result.text
 
     # -- statement kinds ------------------------------------------------------
 

@@ -76,8 +76,14 @@ class SystemTaskOrchestrator:
         self._busy = True
         try:
             threshold = self._context.config.sto.checkpoint_manifest_threshold
-            if manifests_since_checkpoint(self._context, table_id) >= threshold:
-                result = run_checkpoint(self._context, table_id)
+            backlog = manifests_since_checkpoint(self._context, table_id)
+            if backlog >= threshold:
+                self._context.telemetry.add_event(
+                    "sto.trigger.checkpoint",
+                    table_id=table_id,
+                    manifests_since_checkpoint=backlog,
+                )
+                result = self._checkpoint_span(table_id, trigger="commit")
                 if result is not None:
                     self.checkpoints.append(result)
             self._drain_compactions()
@@ -97,6 +103,12 @@ class SystemTaskOrchestrator:
         ):
             due = self._context.clock.now + self._context.config.sto.poll_interval_s
             self._pending_compactions[stats.table_id] = due
+            self._context.telemetry.add_event(
+                "sto.trigger.compaction",
+                table_id=stats.table_id,
+                low_quality_fraction=stats.low_quality_fraction,
+                due=due,
+            )
         self._busy = True
         try:
             self._drain_compactions()
@@ -114,14 +126,24 @@ class SystemTaskOrchestrator:
         if table is None or not rows:
             return
         last = rows[-1]
-        if "delta" in self.publish_formats:
-            self.publisher.publish_commit(
-                table["name"], table_id, last["manifest_path"], last["sequence_id"]
-            )
-        if "iceberg" in self.publish_formats:
-            self.iceberg.publish_commit(
-                table["name"], table_id, last["manifest_path"], last["sequence_id"]
-            )
+        tel = self._context.telemetry
+        with tel.span(
+            "sto.publish",
+            "sto",
+            table_id=table_id,
+            sequence_id=last["sequence_id"],
+            formats=",".join(sorted(self.publish_formats)),
+        ):
+            if "delta" in self.publish_formats:
+                self.publisher.publish_commit(
+                    table["name"], table_id, last["manifest_path"], last["sequence_id"]
+                )
+            if "iceberg" in self.publish_formats:
+                self.iceberg.publish_commit(
+                    table["name"], table_id, last["manifest_path"], last["sequence_id"]
+                )
+        if tel.metering:
+            tel.metrics.counter("sto.publishes").inc()
 
     # -- manual / periodic operations -------------------------------------------------
 
@@ -130,7 +152,7 @@ class SystemTaskOrchestrator:
         due = [tid for tid, when in self._pending_compactions.items() if when <= now]
         for table_id in sorted(due):
             del self._pending_compactions[table_id]
-            self.run_compaction(table_id)
+            self.run_compaction(table_id, trigger="health")
 
     def tick(self) -> None:
         """Run any due pending work (benchmark drivers call this)."""
@@ -162,9 +184,17 @@ class SystemTaskOrchestrator:
 
         clock.call_at(clock.now + interval, fire)
 
-    def run_compaction(self, table_id: int) -> CompactionResult:
+    def run_compaction(
+        self, table_id: int, trigger: str = "manual"
+    ) -> CompactionResult:
         """Compact one table now; records the result and fresh health stats."""
-        result = run_compaction(self._context, table_id)
+        tel = self._context.telemetry
+        with tel.span("sto.compaction", "sto", table_id=table_id, trigger=trigger):
+            result = run_compaction(self._context, table_id)
+        if tel.metering:
+            outcome = "committed" if result.committed else "aborted"
+            tel.metrics.counter("sto.compactions", outcome=outcome).inc()
+            tel.metrics.counter("sto.files_rewritten").inc(result.files_rewritten)
         self.compactions.append(result)
         if result.committed and result.files_rewritten:
             snapshot = self._context.cache.get(
@@ -176,14 +206,32 @@ class SystemTaskOrchestrator:
 
     def run_checkpoint(self, table_id: int) -> Optional[CheckpointResult]:
         """Checkpoint one table now."""
-        result = run_checkpoint(self._context, table_id)
+        result = self._checkpoint_span(table_id, trigger="manual")
         if result is not None:
             self.checkpoints.append(result)
         return result
 
+    def _checkpoint_span(
+        self, table_id: int, trigger: str
+    ) -> Optional[CheckpointResult]:
+        tel = self._context.telemetry
+        with tel.span("sto.checkpoint", "sto", table_id=table_id, trigger=trigger):
+            result = run_checkpoint(self._context, table_id)
+        if tel.metering and result is not None:
+            tel.metrics.counter("sto.checkpoints").inc()
+            tel.metrics.counter("sto.manifests_collapsed").inc(
+                result.manifests_collapsed
+            )
+        return result
+
     def run_gc(self) -> GcReport:
         """Garbage-collect the deployment now."""
-        report = run_garbage_collection(self._context)
+        tel = self._context.telemetry
+        with tel.span("sto.gc", "sto"):
+            report = run_garbage_collection(self._context)
+        if tel.metering:
+            tel.metrics.counter("sto.gc_runs").inc()
+            tel.metrics.counter("sto.gc_files_deleted").inc(report.deleted_total)
         self.gc_reports.append(report)
         return report
 

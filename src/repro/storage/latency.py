@@ -26,12 +26,23 @@ class LatencyModel:
         self._clock = clock
         self._config = config
         self._suspended = 0
+        #: Optional observer ``(operation, cost, charged)`` — wired to the
+        #: telemetry facade so charged time is attributed per operation
+        #: kind, separately for clock-charged vs node-timeline-modeled IO.
+        self.on_charge = None
 
-    def charge(self, transferred_bytes: int = 0) -> float:
-        """Advance the clock by the cost of one request; return the cost."""
+    def charge(self, transferred_bytes: int = 0, operation: str = "") -> float:
+        """Advance the clock by the cost of one request; return the cost.
+
+        ``operation`` labels the request kind for telemetry attribution;
+        the charge itself is identical for all kinds.
+        """
         cost = self.cost_of(transferred_bytes)
-        if self._suspended == 0:
+        charged = self._suspended == 0
+        if charged:
             self._clock.advance(cost)
+        if self.on_charge is not None:
+            self.on_charge(operation, cost, charged)
         return cost
 
     def suspend(self) -> None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.common.clock import SimulatedClock
 from repro.common.config import StorageConfig
@@ -26,10 +26,14 @@ from repro.common.errors import (
     BlobNotFoundError,
     BlockNotStagedError,
     EtagMismatchError,
+    TransientStorageError,
 )
 from repro.storage.failures import FaultInjector
 from repro.storage.latency import LatencyModel
 from repro.storage.metering import IoMeter
+
+if TYPE_CHECKING:
+    from repro.telemetry.facade import Telemetry
 
 
 @dataclass
@@ -64,15 +68,60 @@ class ObjectStore:
         self,
         clock: Optional[SimulatedClock] = None,
         config: Optional[StorageConfig] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.config = config or StorageConfig()
         self.meter = IoMeter()
         self.faults = FaultInjector(self.config)
+        self.telemetry = telemetry
+        # Gate flags are fixed at construction, so cache one bool for the
+        # per-request fast path and only install the latency hook when it
+        # would record something — disabled telemetry costs ~nothing.
+        self._tel_active = telemetry is not None and (
+            telemetry.metering or telemetry.tracing
+        )
         self._latency = LatencyModel(self.clock, self.config)
+        if telemetry is not None and telemetry.metering:
+            self._latency.on_charge = telemetry.latency_charged
         self._blobs: Dict[str, Blob] = {}
         self._blocks: Dict[str, _BlockState] = {}
         self._etag_counter = 0
+
+    def _check(self, operation: str, path: str) -> None:
+        """Fault-injection gate; injected faults are counted in telemetry."""
+        try:
+            self.faults.check(operation, path)
+        except TransientStorageError:
+            if self.telemetry is not None:
+                self.telemetry.storage_fault(operation, path)
+            raise
+
+    def _account(
+        self,
+        operation: str,
+        path: str,
+        read_bytes: int = 0,
+        written_bytes: int = 0,
+        transfer_bytes: int = 0,
+        charge: bool = True,
+    ) -> None:
+        """Charge latency and meter one request through every accounting sink.
+
+        IO bytes flow into the meter and the metrics registry from here
+        (and only here); simulated latency flows from the latency model's
+        ``on_charge`` hook — each is booked exactly once.
+        """
+        cost = (
+            self._latency.charge(transfer_bytes, operation) if charge else 0.0
+        )
+        self.meter.record(
+            operation, read_bytes=read_bytes, written_bytes=written_bytes
+        )
+        if self._tel_active:
+            self.telemetry.storage_request(
+                operation, path, read_bytes, written_bytes, cost
+            )
 
     @contextmanager
     def latency_suspended(self) -> Iterator[None]:
@@ -102,9 +151,8 @@ class ObjectStore:
         Raises :class:`BlobAlreadyExistsError` if the path exists, unless
         ``overwrite`` is set (used only for republishing metadata files).
         """
-        self.faults.check("put", path)
-        self._latency.charge(len(data))
-        self.meter.record("put", written_bytes=len(data))
+        self._check("put", path)
+        self._account("put", path, written_bytes=len(data), transfer_bytes=len(data))
         if path in self._blobs and not overwrite:
             raise BlobAlreadyExistsError(path)
         blob = Blob(
@@ -119,19 +167,17 @@ class ObjectStore:
 
     def get(self, path: str) -> Blob:
         """Fetch a committed blob; raises :class:`BlobNotFoundError`."""
-        self.faults.check("get", path)
+        self._check("get", path)
         blob = self._blobs.get(path)
         if blob is None:
             raise BlobNotFoundError(path)
-        self._latency.charge(blob.size)
-        self.meter.record("get", read_bytes=blob.size)
+        self._account("get", path, read_bytes=blob.size, transfer_bytes=blob.size)
         return blob
 
     def head(self, path: str) -> Blob:
         """Fetch blob metadata without charging a transfer cost."""
-        self.faults.check("head", path)
-        self._latency.charge(0)
-        self.meter.record("head")
+        self._check("head", path)
+        self._account("head", path)
         blob = self._blobs.get(path)
         if blob is None:
             raise BlobNotFoundError(path)
@@ -139,14 +185,13 @@ class ObjectStore:
 
     def exists(self, path: str) -> bool:
         """Whether a committed blob exists at ``path``."""
-        self.meter.record("head")
+        self._account("head", path, charge=False)
         return path in self._blobs
 
     def delete(self, path: str, if_etag: Optional[int] = None) -> None:
         """Delete a committed blob (idempotent for missing paths)."""
-        self.faults.check("delete", path)
-        self._latency.charge(0)
-        self.meter.record("delete")
+        self._check("delete", path)
+        self._account("delete", path)
         blob = self._blobs.get(path)
         if blob is None:
             return
@@ -157,9 +202,8 @@ class ObjectStore:
 
     def list(self, prefix: str = "") -> Iterator[Blob]:
         """Iterate committed blobs whose path starts with ``prefix``."""
-        self.faults.check("list", prefix)
-        self._latency.charge(0)
-        self.meter.record("list")
+        self._check("list", prefix)
+        self._account("list", prefix)
         for path in sorted(self._blobs):
             if path.startswith(prefix):
                 yield self._blobs[path]
@@ -173,9 +217,10 @@ class ObjectStore:
         conflicts.  Staged blocks are invisible to :meth:`get` until a
         :meth:`commit_block_list` names them.
         """
-        self.faults.check("stage_block", path)
-        self._latency.charge(len(data))
-        self.meter.record("stage_block", written_bytes=len(data))
+        self._check("stage_block", path)
+        self._account(
+            "stage_block", path, written_bytes=len(data), transfer_bytes=len(data)
+        )
         state = self._blocks.setdefault(path, _BlockState())
         state.staged[block_id] = data
 
@@ -198,7 +243,7 @@ class ObjectStore:
         staged blocks not named are discarded — exactly the property that
         lets the DCP restart failed tasks without corrupting the manifest.
         """
-        self.faults.check("commit_block_list", path)
+        self._check("commit_block_list", path)
         state = self._blocks.setdefault(path, _BlockState())
         new_committed: Dict[str, bytes] = {}
         for block_id in block_ids:
@@ -214,8 +259,7 @@ class ObjectStore:
         state.committed_order = list(block_ids)
         state.staged = {}
         data = b"".join(new_committed[block_id] for block_id in block_ids)
-        self._latency.charge(0)
-        self.meter.record("commit_block_list", written_bytes=0)
+        self._account("commit_block_list", path)
         existing = self._blobs.get(path)
         blob = Blob(
             path=path,

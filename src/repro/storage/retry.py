@@ -5,29 +5,51 @@ BE-side storage faults are handled by the DCP's task-level retry
 manifest flushes, checkpoint reads, metadata loads — sit outside any task,
 so they carry their own bounded retry against transient faults, as any
 production front end would.
+
+When a :class:`~repro.telemetry.facade.Telemetry` is supplied, every
+failed attempt is recorded as a span event plus a retry-attempt counter,
+and the final outcome (recovered vs. exhausted) is counted — so injected
+storage faults are visible in traces rather than silently absorbed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, TypeVar
+from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from repro.common.errors import TransientStorageError
+
+if TYPE_CHECKING:
+    from repro.telemetry.facade import Telemetry
 
 T = TypeVar("T")
 
 DEFAULT_ATTEMPTS = 5
 
 
-def with_retries(operation: Callable[[], T], attempts: int = DEFAULT_ATTEMPTS) -> T:
+def with_retries(
+    operation: Callable[[], T],
+    attempts: int = DEFAULT_ATTEMPTS,
+    telemetry: "Optional[Telemetry]" = None,
+    label: str = "storage",
+) -> T:
     """Run ``operation``, retrying on :class:`TransientStorageError`.
 
-    Re-raises the last error once ``attempts`` are exhausted.
+    Re-raises the last error once ``attempts`` are exhausted.  ``label``
+    names the logical operation in telemetry (e.g. ``manifest_flush``).
     """
     last: TransientStorageError | None = None
-    for __ in range(attempts):
+    for attempt in range(1, attempts + 1):
         try:
-            return operation()
+            result = operation()
         except TransientStorageError as exc:
             last = exc
+            if telemetry is not None:
+                telemetry.retry_attempt(label, attempt, exc)
+            continue
+        if telemetry is not None and attempt > 1:
+            telemetry.retry_outcome(label, attempt, succeeded=True)
+        return result
     assert last is not None
+    if telemetry is not None:
+        telemetry.retry_outcome(label, attempts, succeeded=False)
     raise last

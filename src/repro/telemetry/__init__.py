@@ -1,0 +1,55 @@
+"""End-to-end telemetry: hierarchical spans, metrics, trace export.
+
+The subsystem has three parts:
+
+* :mod:`repro.telemetry.spans` — a hierarchical span tracer over the
+  simulated clock (contextvar-propagated parents, per-span attributes and
+  events);
+* :mod:`repro.telemetry.metrics` — a registry of counters, gauges and
+  p50/p95/p99 histograms that unifies IO and latency accounting;
+* :mod:`repro.telemetry.exporters` — JSONL span dumps and Chrome
+  trace-event files (loadable in Perfetto, one process row per DCP node).
+
+:class:`Telemetry` (from :mod:`repro.telemetry.facade`) bundles all three
+per deployment and is reachable as ``context.telemetry`` everywhere a
+:class:`~repro.fe.context.ServiceContext` flows.  Enable tracing with
+``PolarisConfig().telemetry.enabled = True``.
+"""
+
+from repro.common.config import TelemetryConfig
+from repro.telemetry.exporters import (
+    chrome_trace,
+    combined_chrome_trace,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.facade import Telemetry, instances, tracing_instances
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    snapshot_delta,
+)
+from repro.telemetry.spans import Span, SpanEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanEvent",
+    "Telemetry",
+    "TelemetryConfig",
+    "Tracer",
+    "chrome_trace",
+    "combined_chrome_trace",
+    "instances",
+    "snapshot_delta",
+    "spans_to_jsonl",
+    "tracing_instances",
+    "write_chrome_trace",
+    "write_jsonl",
+]

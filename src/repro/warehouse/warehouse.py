@@ -76,3 +76,8 @@ class Warehouse:
     def config(self) -> PolarisConfig:
         """The deployment's configuration."""
         return self.context.config
+
+    @property
+    def telemetry(self):
+        """The deployment's telemetry facade (spans + metrics)."""
+        return self.context.telemetry

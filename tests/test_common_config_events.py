@@ -78,6 +78,55 @@ class TestEventBus:
         order.append("after")
         assert order == ["handler", "after"]
 
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        assert bus.unsubscribe("t", seen.append) is True
+        bus.publish("t")
+        assert seen == []
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("t", seen.append)
+        assert bus.unsubscribe("t", seen.append) is True
+        assert bus.unsubscribe("t", seen.append) is False
+        assert bus.unsubscribe("never-subscribed", seen.append) is False
+
+    def test_unsubscribe_leaves_other_handlers(self):
+        bus = EventBus()
+        kept, removed = [], []
+        bus.subscribe("t", kept.append)
+        bus.subscribe("t", removed.append)
+        bus.unsubscribe("t", removed.append)
+        bus.publish("t")
+        assert len(kept) == 1 and removed == []
+
+    def test_wildcard_sees_every_topic(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("a", x=1)
+        bus.publish("b", y=2)
+        assert [e.topic for e in seen] == ["a", "b"]
+
+    def test_wildcard_fires_after_topic_handlers(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("*", lambda e: order.append("wildcard"))
+        bus.subscribe("t", lambda e: order.append("topic"))
+        bus.publish("t")
+        assert order == ["topic", "wildcard"]
+
+    def test_wildcard_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        assert bus.unsubscribe("*", seen.append) is True
+        bus.publish("t")
+        assert seen == []
+
 
 class TestUnits:
     def test_mib(self):
