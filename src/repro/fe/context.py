@@ -64,7 +64,7 @@ class ServiceContext:
         config = config or PolarisConfig()
         config.validate()
         clock = SimulatedClock()
-        telemetry = Telemetry(clock, config.telemetry)
+        telemetry = Telemetry(clock, config.telemetry, seed=config.seed)
         store = ObjectStore(
             clock=clock, config=config.storage, telemetry=telemetry
         )

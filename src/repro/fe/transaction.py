@@ -78,6 +78,16 @@ class PolarisTransaction:
         self.span = context.telemetry.start_span(
             "txn", "txn", txid=self.txid, isolation=level.value
         )
+        # Lifecycle events feed the SI history sanitizer
+        # (repro.analysis.si): begin snapshot, observed reads, committed
+        # write-set.  No subscribers -> near-zero cost.
+        context.bus.publish(
+            "txn.begin",
+            txid=self.txid,
+            begin_seq=self.root.begin_seq,
+            begin_ts=self.root.begin_ts,
+            isolation=level.value,
+        )
 
     def _end_span(self, status: str, **attributes) -> None:
         if self.span is not None:
@@ -118,7 +128,11 @@ class PolarisTransaction:
         """
         self._require_active()
         rows = catalog.manifests_for_table(self.root, table_id)
-        return rows[-1]["sequence_id"] if rows else 0
+        sequence = rows[-1]["sequence_id"] if rows else 0
+        self._context.bus.publish(
+            "txn.read", txid=self.txid, table_id=table_id, sequence_id=sequence
+        )
+        return sequence
 
     def committed_snapshot(self, table_id: int) -> TableSnapshot:
         """The table's committed state as visible to this transaction."""
@@ -239,6 +253,9 @@ class PolarisTransaction:
                 tel.metrics.counter(
                     "txn.commit_failures", error=type(exc).__name__
                 ).inc()
+            self._context.bus.publish(
+                "txn.aborted", txid=self.txid, reason=type(exc).__name__
+            )
             raise
         self._end_span("ok", commit_seq=commit_seq)
         if tel.metering:
@@ -279,13 +296,45 @@ class PolarisTransaction:
         for state in dirty:
             self._context.bus.publish(
                 "txn.committed",
+                txid=self.txid,
                 table_id=state.table_id,
                 sequence_id=commit_seq,
                 manifest_name=state.manifest_name,
                 rows_inserted=state.rows_inserted,
                 rows_deleted=state.rows_deleted,
             )
+        self._context.bus.publish(
+            "txn.finished",
+            txid=self.txid,
+            commit_seq=commit_seq,
+            units=self._conflict_units(dirty, granularity),
+            tables=[state.table_id for state in dirty],
+        )
         return commit_seq
+
+    @staticmethod
+    def _conflict_units(
+        dirty: List[TableWriteState], granularity: str
+    ) -> List[str]:
+        """The WriteSets conflict units this commit claimed (Section 4.1.2).
+
+        Mirrors the upserts of the validation phase exactly: insert-only
+        write states claim no unit (inserts never conflict), update/delete
+        states claim their table or their touched files depending on the
+        configured granularity.
+        """
+        units: List[str] = []
+        for state in dirty:
+            if not state.has_update_or_delete:
+                continue
+            if granularity == "file":
+                units.extend(
+                    f"file:{state.table_id}/{name}"
+                    for name in sorted(state.touched_files)
+                )
+            else:
+                units.append(f"table:{state.table_id}")
+        return units
 
     def rollback(self) -> None:
         """Abort: discard catalog changes; private files become GC orphans."""
@@ -294,6 +343,9 @@ class PolarisTransaction:
             self._end_span("rollback")
             if self._context.telemetry.metering:
                 self._context.telemetry.metrics.counter("txn.rollbacks").inc()
+            self._context.bus.publish(
+                "txn.aborted", txid=self.txid, reason="rollback"
+            )
 
     # -- introspection ----------------------------------------------------------------
 

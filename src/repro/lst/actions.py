@@ -70,6 +70,7 @@ class DataFileInfo:
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "DataFileInfo":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             name=raw["name"],
             path=raw["path"],
@@ -110,6 +111,7 @@ class DeletionVectorInfo:
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "DeletionVectorInfo":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             name=raw["name"],
             path=raw["path"],

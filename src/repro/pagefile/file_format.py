@@ -49,6 +49,7 @@ class ChunkMeta:
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "ChunkMeta":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             offset=raw["offset"],
             length=raw["length"],
@@ -72,6 +73,7 @@ class RowGroupMeta:
 
     @classmethod
     def from_dict(cls, raw: Dict[str, Any]) -> "RowGroupMeta":
+        """Inverse of :meth:`to_dict`."""
         return cls(
             num_rows=raw["num_rows"],
             chunks={
@@ -99,6 +101,7 @@ class PageFile:
 
     @classmethod
     def from_footer_dict(cls, raw: Dict[str, Any]) -> "PageFile":
+        """Inverse of :meth:`to_footer_dict`."""
         return cls(
             schema=Schema.from_dict(raw["schema"]),
             num_rows=raw["num_rows"],

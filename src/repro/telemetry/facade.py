@@ -17,7 +17,7 @@ from repro.common.clock import SimulatedClock
 from repro.common.config import TelemetryConfig
 from repro.common.events import Event, EventBus, WILDCARD
 from repro.telemetry import exporters
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import Histogram, MetricsRegistry
 from repro.telemetry.spans import Span, SpanEvent, Tracer
 
 #: Live Telemetry instances in creation order (weakly held; the benchmark
@@ -59,7 +59,10 @@ class Telemetry:
     """Tracing + metrics for one deployment, gated by its config."""
 
     def __init__(
-        self, clock: SimulatedClock, config: Optional[TelemetryConfig] = None
+        self,
+        clock: SimulatedClock,
+        config: Optional[TelemetryConfig] = None,
+        seed: int = Histogram.DEFAULT_SEED,
     ) -> None:
         self.config = config or TelemetryConfig()
         self.clock = clock
@@ -67,7 +70,7 @@ class Telemetry:
         self.tracing = self.config.enabled
         #: Metrics registry recording on/off (cheap dict increments).
         self.metering = self.config.metrics or self.config.enabled
-        self.metrics = MetricsRegistry(self.config.histogram_max_samples)
+        self.metrics = MetricsRegistry(self.config.histogram_max_samples, seed=seed)
         self.tracer = Tracer(clock, max_spans=self.config.max_spans)
         self._bus: Optional[EventBus] = None
         _INSTANCES.append(weakref.ref(self))

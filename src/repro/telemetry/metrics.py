@@ -70,14 +70,17 @@ class Histogram:
 
     __slots__ = ("count", "total", "minimum", "maximum", "_samples", "_max", "_rng")
 
-    def __init__(self, max_samples: int = 4096) -> None:
+    #: Default reservoir seed when no deployment seed is threaded in.
+    DEFAULT_SEED = 0x5EED
+
+    def __init__(self, max_samples: int = 4096, seed: int = DEFAULT_SEED) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
         self._samples: List[float] = []
         self._max = max_samples
-        self._rng = random.Random(0x5EED)
+        self._rng = random.Random(seed)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -128,10 +131,20 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store of instruments keyed by (name, labels)."""
+    """Get-or-create store of instruments keyed by (name, labels).
 
-    def __init__(self, histogram_max_samples: int = 4096) -> None:
+    ``seed`` parameterizes every histogram's reservoir-sampling PRNG; the
+    deployment threads its ``PolarisConfig.seed`` here so that two runs
+    with the same config report identical percentile estimates.
+    """
+
+    def __init__(
+        self,
+        histogram_max_samples: int = 4096,
+        seed: int = Histogram.DEFAULT_SEED,
+    ) -> None:
         self._histogram_max_samples = histogram_max_samples
+        self._seed = seed
         self._counters: Dict[LabelKey, Counter] = {}
         self._gauges: Dict[LabelKey, Gauge] = {}
         self._histograms: Dict[LabelKey, Histogram] = {}
@@ -160,7 +173,7 @@ class MetricsRegistry:
         histogram = self._histograms.get(key)
         if histogram is None:
             histogram = self._histograms[key] = Histogram(
-                self._histogram_max_samples
+                self._histogram_max_samples, seed=self._seed
             )
         return histogram
 

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import PolarisConfig, Schema, Warehouse
+from repro.analysis.si import HistoryRecorder, check_history, format_violations
 
 
 def small_config() -> PolarisConfig:
@@ -37,6 +38,32 @@ def warehouse(config) -> Warehouse:
 @pytest.fixture
 def session(warehouse):
     return warehouse.session()
+
+
+@pytest.fixture
+def si_sanitizer():
+    """Opt-in snapshot-isolation history sanitizer (repro.analysis.si).
+
+    Yields an ``attach(warehouse)`` callable; every attached warehouse's
+    transaction history is verified against the SI axioms (first-committer
+    wins, reads-from-snapshot, no lost updates) at teardown — any
+    violation fails the test that opted in.
+    """
+    recorders = []
+
+    def attach(warehouse) -> HistoryRecorder:
+        recorder = HistoryRecorder().attach(warehouse.context.bus)
+        recorders.append(recorder)
+        return recorder
+
+    yield attach
+    for recorder in recorders:
+        recorder.detach()
+        violations = check_history(recorder.history())
+        assert not violations, (
+            "SI history sanitizer found violations:\n"
+            + format_violations(violations)
+        )
 
 
 @pytest.fixture

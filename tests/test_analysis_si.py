@@ -1,0 +1,283 @@
+"""Tests for the snapshot-isolation history sanitizer (repro.analysis.si).
+
+Synthetic histories exercise each axiom in both directions (violating and
+clean), and a live-recorder section proves the sanitizer sees real engine
+histories through the EventBus — including that a genuine write-write
+conflict is *aborted* by the engine and therefore never shows up as a
+first-committer-wins violation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BinOp, Col, Lit, Schema, Warehouse
+from repro.analysis.si import (
+    HistoryRecorder,
+    TxnRecord,
+    check_history,
+    format_violations,
+    load_history_jsonl,
+)
+from repro.common.errors import WriteConflictError
+from tests.conftest import small_config
+
+
+def committed(txid, begin_seq, commit_seq, units=(), tables=(), reads=(),
+              isolation="snapshot"):
+    """A committed TxnRecord with the given snapshot window."""
+    return TxnRecord(
+        txid=txid,
+        begin_seq=begin_seq,
+        commit_seq=commit_seq,
+        committed=True,
+        units=tuple(units),
+        tables=tuple(tables),
+        reads=list(reads),
+        isolation=isolation,
+    )
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_double_commit_same_unit_flagged(self):
+        history = [
+            committed(1, begin_seq=5, commit_seq=10, units=("table:1001",)),
+            committed(2, begin_seq=5, commit_seq=11, units=("table:1001",)),
+        ]
+        violations = check_history(history)
+        assert [v.check for v in violations if v.check == "first-committer-wins"]
+
+    def test_sequential_commits_same_unit_clean(self):
+        # Txn 2 began after txn 1 committed: not concurrent.
+        history = [
+            committed(1, begin_seq=5, commit_seq=10, units=("table:1001",)),
+            committed(2, begin_seq=10, commit_seq=11, units=("table:1001",)),
+        ]
+        assert check_history(history) == []
+
+    def test_concurrent_commits_disjoint_units_clean(self):
+        history = [
+            committed(1, begin_seq=5, commit_seq=10, units=("table:1001",)),
+            committed(2, begin_seq=5, commit_seq=11, units=("table:1002",)),
+        ]
+        assert check_history(history) == []
+
+    def test_file_granularity_disjoint_files_clean(self):
+        history = [
+            committed(1, 5, 10, units=("file:1001/a.page",)),
+            committed(2, 5, 11, units=("file:1001/b.page",)),
+        ]
+        assert check_history(history) == []
+
+    def test_aborted_loser_clean(self):
+        # The engine's actual behavior: the loser aborts, no violation.
+        history = [
+            committed(1, begin_seq=5, commit_seq=10, units=("table:1001",)),
+            TxnRecord(txid=2, begin_seq=5, aborted=True,
+                      abort_reason="WriteConflictError"),
+        ]
+        assert check_history(history) == []
+
+
+class TestReadsFromSnapshot:
+    def test_read_past_snapshot_flagged(self):
+        record = committed(1, begin_seq=5, commit_seq=9,
+                           reads=[(1001, 7)])  # 7 > begin 5
+        violations = check_history([record])
+        assert [v for v in violations if v.check == "reads-from-snapshot"]
+
+    def test_non_repeatable_read_flagged(self):
+        record = committed(1, begin_seq=9, commit_seq=12,
+                           reads=[(1001, 5), (1001, 7)])
+        violations = check_history([record])
+        assert any(
+            "non-repeatable" in v.message for v in violations
+        )
+
+    def test_pinned_reads_clean(self):
+        record = committed(1, begin_seq=9, commit_seq=12,
+                           reads=[(1001, 5), (1001, 5), (1002, 9)])
+        assert check_history([record]) == []
+
+    def test_rcsi_exempt_from_read_checks(self):
+        # RCSI re-snapshots per statement: moving reads are legal.
+        record = committed(1, begin_seq=5, commit_seq=12, isolation="rcsi",
+                           reads=[(1001, 5), (1001, 7)])
+        assert check_history([record]) == []
+
+    def test_record_without_begin_skipped(self):
+        # Recorder attached mid-run: no begin event, nothing to judge.
+        record = TxnRecord(txid=1, committed=True, commit_seq=9,
+                           reads=[(1001, 7)])
+        assert check_history([record]) == []
+
+
+class TestNoLostUpdates:
+    def test_update_over_stale_read_flagged(self):
+        # Txn 1 read table 1001 at its snapshot, txn 2 committed to the
+        # same unit in between, txn 1 still committed its update: lost
+        # update (the engine would really have aborted txn 1).
+        history = [
+            committed(1, begin_seq=5, commit_seq=12,
+                      units=("table:1001",), reads=[(1001, 5)]),
+            committed(2, begin_seq=5, commit_seq=8, units=("table:1001",)),
+        ]
+        violations = check_history(history)
+        assert any(v.check == "no-lost-updates" for v in violations)
+
+    def test_no_read_of_the_table_not_a_lost_update(self):
+        # Blind writes to disjoint files can interleave without loss.
+        history = [
+            committed(1, begin_seq=5, commit_seq=12,
+                      units=("file:1001/a.page",)),
+            committed(2, begin_seq=5, commit_seq=8,
+                      units=("file:1001/b.page",)),
+        ]
+        assert check_history(history) == []
+
+    def test_intermediate_commit_outside_window_clean(self):
+        history = [
+            committed(1, begin_seq=8, commit_seq=12,
+                      units=("table:1001",), reads=[(1001, 8)]),
+            committed(2, begin_seq=3, commit_seq=7, units=("table:1001",)),
+        ]
+        # Txn 2 committed before txn 1's snapshot: visible, not lost.
+        assert check_history(history) == []
+
+
+class TestViolationRendering:
+    def test_render_and_format(self):
+        history = [
+            committed(1, 5, 10, units=("table:1001",)),
+            committed(2, 5, 11, units=("table:1001",)),
+        ]
+        violations = check_history(history)
+        text = format_violations(violations)
+        assert "first-committer-wins" in text
+        assert "(txns 1, 2)" in text
+
+
+class TestRecorderLive:
+    """The recorder against a real warehouse: events arrive via the bus."""
+
+    @staticmethod
+    def _warehouse():
+        dw = Warehouse(config=small_config(), auto_optimize=False)
+        recorder = HistoryRecorder().attach(dw.context.bus)
+        return dw, recorder
+
+    @staticmethod
+    def _ids(n, start=0):
+        return {
+            "id": np.arange(start, start + n, dtype=np.int64),
+            "v": np.zeros(n),
+        }
+
+    def test_autocommit_history_records_commits(self):
+        dw, recorder = self._warehouse()
+        s = dw.session()
+        s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                       distribution_column="id")
+        s.insert("t", self._ids(10))
+        history = recorder.history()
+        assert any(r.committed and r.commit_seq is not None for r in history)
+        assert check_history(history) == []
+
+    def test_real_conflict_aborts_loser_and_history_stays_clean(self):
+        dw, recorder = self._warehouse()
+        setup = dw.session()
+        setup.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                           distribution_column="id")
+        setup.insert("t", self._ids(50))
+
+        a, b = dw.session(), dw.session()
+        a.begin()
+        b.begin()
+        a.update("t", BinOp("<", Col("id"), Lit(50)), {"v": Lit(1.0)})
+        b.update("t", BinOp("<", Col("id"), Lit(10)), {"v": Lit(2.0)})
+        a.commit()
+        with pytest.raises(WriteConflictError):
+            b.commit()
+
+        recorder.detach()
+        history = recorder.history()
+        aborted = [r for r in history if r.aborted]
+        assert aborted and aborted[0].abort_reason == "WriteConflictError"
+        assert check_history(history) == []
+
+    def test_tampered_history_is_caught(self):
+        # Force the loser to "commit" anyway: the sanitizer must object.
+        dw, recorder = self._warehouse()
+        setup = dw.session()
+        setup.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                           distribution_column="id")
+        setup.insert("t", self._ids(50))
+        a, b = dw.session(), dw.session()
+        a.begin()
+        b.begin()
+        a.update("t", BinOp("<", Col("id"), Lit(50)), {"v": Lit(1.0)})
+        b.update("t", BinOp("<", Col("id"), Lit(10)), {"v": Lit(2.0)})
+        a.commit()
+        with pytest.raises(WriteConflictError):
+            b.commit()
+        recorder.detach()
+
+        history = recorder.history()
+        winner = max(
+            (r for r in history if r.committed and r.units),
+            key=lambda r: r.commit_seq,
+        )
+        loser = next(r for r in history if r.aborted)
+        loser.committed = True
+        loser.commit_seq = winner.commit_seq + 1
+        loser.units = winner.units
+        violations = check_history(history)
+        assert any(v.check == "first-committer-wins" for v in violations)
+
+    def test_detach_stops_recording(self):
+        dw, recorder = self._warehouse()
+        recorder.detach()
+        s = dw.session()
+        s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")))
+        s.insert("t", self._ids(5))
+        assert recorder.history() == []
+
+    def test_double_attach_rejected(self):
+        dw, recorder = self._warehouse()
+        with pytest.raises(RuntimeError):
+            recorder.attach(dw.context.bus)
+
+
+class TestJsonlRoundTrip:
+    def test_dump_and_reload_rebuilds_records(self, tmp_path):
+        dw = Warehouse(config=small_config(), auto_optimize=False)
+        recorder = HistoryRecorder().attach(dw.context.bus)
+        s = dw.session()
+        s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
+                       distribution_column="id")
+        s.insert("t", {"id": np.arange(20, dtype=np.int64),
+                       "v": np.zeros(20)})
+        recorder.detach()
+
+        path = tmp_path / "history.jsonl"
+        recorder.dump_jsonl(path)
+        reloaded = load_history_jsonl(path)
+
+        original = recorder.history()
+        assert [r.txid for r in reloaded] == [r.txid for r in original]
+        assert [r.commit_seq for r in reloaded] == [
+            r.commit_seq for r in original
+        ]
+        assert check_history(reloaded) == []
+
+    def test_unknown_topics_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"topic": "txn.begin", "txid": 1, "begin_seq": 3}\n'
+            '{"topic": "table.created", "table_id": 1001}\n'
+            '{"topic": "txn.finished", "txid": 1, "commit_seq": 4,'
+            ' "units": ["table:1001"], "tables": [1001]}\n',
+            encoding="utf-8",
+        )
+        records = load_history_jsonl(path)
+        assert len(records) == 1
+        assert records[0].committed and records[0].commit_seq == 4

@@ -15,8 +15,11 @@ def ids(n, start=0):
 
 
 @pytest.fixture
-def dw():
+def dw(si_sanitizer):
     warehouse = Warehouse(config=small_config(), auto_optimize=False)
+    # Every isolation-level scenario doubles as an SI-axiom check: the
+    # recorded history is sanitized (repro.analysis.si) at teardown.
+    si_sanitizer(warehouse)
     s = warehouse.session()
     s.create_table("t", Schema.of(("id", "int64"), ("v", "float64")),
                    distribution_column="id")

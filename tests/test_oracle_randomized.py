@@ -66,11 +66,12 @@ def check(session, model):
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
-def test_randomized_against_oracle(seed):
+def test_randomized_against_oracle(seed, si_sanitizer):
     rng = np.random.default_rng(seed)
     config = small_config()
     config.txn.conflict_granularity = "file" if seed % 2 else "table"
     dw = Warehouse(config=config, auto_optimize=bool(seed % 2))
+    si_sanitizer(dw)  # verify SI axioms over the whole run at teardown
     session = dw.session()
     session.create_table(
         "t", Schema.of(("id", "int64"), ("v", "float64")),
@@ -148,13 +149,14 @@ def test_randomized_against_oracle(seed):
 
 
 @pytest.mark.parametrize("seed", [10, 11])
-def test_randomized_with_failures_against_oracle(seed):
+def test_randomized_with_failures_against_oracle(seed, si_sanitizer):
     """Same oracle run with task fault injection: retries must hide faults."""
     rng = np.random.default_rng(seed)
     config = small_config()
     config.dcp.task_failure_rate = 0.1
     config.dcp.max_task_retries = 8
     dw = Warehouse(config=config, auto_optimize=False)
+    si_sanitizer(dw)
     session = dw.session()
     session.create_table(
         "t", Schema.of(("id", "int64"), ("v", "float64")),
