@@ -12,6 +12,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set
 
+from repro.chaos.crashpoints import CRASHPOINTS
 from repro.analysis.framework import (
     Finding,
     ModuleSource,
@@ -556,6 +557,79 @@ class DocstringCoverageRule(Rule):
                         )
 
 
+# -- crashpoint-discipline -----------------------------------------------------
+
+#: Directories whose modules may carry crash-injection sites.  Crashpoints
+#: model process death inside the commit/write/STO protocols; sprinkling
+#: them elsewhere (tests, analysis, telemetry) would let a chaos sweep
+#: "crash" in places no real process boundary exists.
+CRASHPOINT_DIRS = ("fe", "sqldb", "sto")
+
+
+@register
+class CrashpointDisciplineRule(Rule):
+    """``crashpoint()`` sites are literal, registered, and confined.
+
+    The chaos sweep enumerates :data:`repro.chaos.crashpoints.CRASHPOINTS`
+    and relies on three properties this rule enforces statically: every
+    site name is a string literal (so the catalogue is greppable), every
+    name is registered (an unregistered name would never be swept), and
+    sites live only in the instrumented protocol layers.  Duplicate names
+    within a module defeat "crash there once" semantics and are flagged;
+    cross-module uniqueness is covered by the chaos test suite.
+    """
+
+    name = "crashpoint-discipline"
+    description = (
+        "crashpoint() sites are literal, registered, unique, and confined "
+        "to fe/, sqldb/, sto/"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield misused crash-injection sites in the module."""
+        seen: Set[str] = set()
+        for call in iter_calls(module.tree):
+            if call_name(call) != "crashpoint":
+                continue
+            if not any(_in_dir(module, d) for d in CRASHPOINT_DIRS):
+                yield self.finding(
+                    module,
+                    call,
+                    "crashpoint() outside the instrumented layers "
+                    f"({', '.join(CRASHPOINT_DIRS)})",
+                )
+                continue
+            if (
+                len(call.args) != 1
+                or call.keywords
+                or not isinstance(call.args[0], ast.Constant)
+                or not isinstance(call.args[0].value, str)
+            ):
+                yield self.finding(
+                    module,
+                    call,
+                    "crashpoint() takes exactly one string-literal site name",
+                )
+                continue
+            site = call.args[0].value
+            if site not in CRASHPOINTS:
+                yield self.finding(
+                    module,
+                    call,
+                    f"crashpoint {site!r} is not registered in "
+                    "repro.chaos.crashpoints.CRASHPOINTS",
+                )
+                continue
+            if site in seen:
+                yield self.finding(
+                    module,
+                    call,
+                    f"crashpoint {site!r} appears more than once in this "
+                    "module; wrap the shared step in one helper instead",
+                )
+            seen.add(site)
+
+
 #: Names of the rules shipped with the framework (import side effect of
 #: this module registers them; the list is for documentation/tests).
 SHIPPED_RULES: List[str] = [
@@ -566,4 +640,5 @@ SHIPPED_RULES: List[str] = [
     "span-discipline",
     "no-swallowed-errors",
     "docstring-coverage",
+    "crashpoint-discipline",
 ]

@@ -1,0 +1,124 @@
+"""Command-line front end: ``python -m repro.chaos``.
+
+Exit status is 0 when every invariant held and 1 when a crash site
+failed to fire, recovery left a torn state, or the soak run ended dirty,
+so CI can gate on it directly.
+
+Usage::
+
+    python -m repro.chaos --sweep [--seed N]          # crash everywhere
+    python -m repro.chaos --site fe.commit.after_sqldb_commit
+    python -m repro.chaos --list                      # crashpoint catalogue
+    python -m repro.chaos --longevity 120 --failure-rate 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.chaos.crashpoints import CRASHPOINTS
+from repro.chaos.harness import run_crash_sweep, run_longevity
+
+
+def _run_list() -> int:
+    """Print the crashpoint catalogue, one ``name: description`` per line."""
+    width = max(len(name) for name in CRASHPOINTS)
+    for name in sorted(CRASHPOINTS):
+        print(f"{name:<{width}}  {CRASHPOINTS[name]}")
+    return 0
+
+
+def _run_sweep(seed: int, sites: Optional[List[str]]) -> int:
+    """Run the crash sweep and report one line per site."""
+    if sites:
+        unknown = sorted(set(sites) - set(CRASHPOINTS))
+        if unknown:
+            print(
+                f"error: unknown crashpoint(s): {', '.join(unknown)}; "
+                "see --list",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_crash_sweep(seed=seed, sites=sites)
+    for line in result.summary():
+        print(line)
+    failures = result.failures
+    if failures:
+        print(f"\n{len(failures)} site(s) failed:", file=sys.stderr)
+        for site in failures:
+            for problem in site.problems:
+                print(f"  {site.site}: {problem}", file=sys.stderr)
+        return 1
+    print(f"\n{len(result.sites)} site(s) crashed and recovered cleanly")
+    return 0
+
+
+def _run_longevity(seed: int, steps: int, failure_rate: float) -> int:
+    """Run the fault soak and report the outcome."""
+    result = run_longevity(seed=seed, steps=steps, failure_rate=failure_rate)
+    print(
+        f"longevity: {result.ops_completed} op(s) completed, "
+        f"{result.ops_failed} failed on injected faults, "
+        f"{result.faults_injected} fault(s) injected"
+    )
+    if result.problems:
+        print(f"\n{len(result.problems)} problem(s):", file=sys.stderr)
+        for problem in result.problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("integrity battery clean")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic crash injection, recovery, and fault soak.",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="crash at every registered crashpoint and verify recovery",
+    )
+    parser.add_argument(
+        "--site",
+        action="append",
+        metavar="NAME",
+        help="restrict the sweep to this crashpoint (repeatable)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the crashpoint catalogue and exit",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="deterministic seed (default 0)"
+    )
+    parser.add_argument(
+        "--longevity",
+        type=int,
+        metavar="STEPS",
+        help="run a fault soak of STEPS operations instead of a sweep",
+    )
+    parser.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.02,
+        help="transient-fault rate for --longevity (default 0.02)",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        return _run_list()
+    if args.longevity is not None:
+        return _run_longevity(args.seed, args.longevity, args.failure_rate)
+    if args.sweep or args.site:
+        return _run_sweep(args.seed, args.site)
+    parser.print_help(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

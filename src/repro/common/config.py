@@ -10,6 +10,7 @@ laptop scale.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict
 
 
 @dataclass
@@ -22,8 +23,18 @@ class StorageConfig:
     per_mib_latency_s: float = 0.010
     #: Probability a request fails transiently (0 disables fault injection).
     transient_failure_rate: float = 0.0
+    #: Per-operation overrides of ``transient_failure_rate``, keyed by the
+    #: store operation name (``put``, ``get``, ``commit_block_list``, ...).
+    operation_failure_rates: Dict[str, float] = field(default_factory=dict)
     #: Seed for the fault-injection PRNG.
     failure_seed: int = 7
+    #: First retry backoff for FE-side storage retries (simulated seconds;
+    #: doubles per failed attempt).
+    retry_base_backoff_s: float = 0.05
+    #: Cap on a single retry backoff (simulated seconds).
+    retry_max_backoff_s: float = 5.0
+    #: Jitter fraction applied to each backoff (0 = none, 0.5 = ±50%).
+    retry_jitter: float = 0.5
 
 
 @dataclass
@@ -144,3 +155,12 @@ class PolarisConfig:
             raise ValueError("telemetry.max_spans must be positive")
         if self.telemetry.histogram_max_samples <= 0:
             raise ValueError("telemetry.histogram_max_samples must be positive")
+        for op, rate in self.storage.operation_failure_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"storage.operation_failure_rates[{op!r}] must be in [0, 1]"
+                )
+        if self.storage.retry_base_backoff_s < 0:
+            raise ValueError("storage.retry_base_backoff_s must be >= 0")
+        if self.storage.retry_jitter < 0 or self.storage.retry_jitter > 1:
+            raise ValueError("storage.retry_jitter must be in [0, 1]")

@@ -99,6 +99,38 @@ class TopologyError(DcpError):
 
 
 # --------------------------------------------------------------------------
+# Chaos / crash-recovery (repro.chaos)
+# --------------------------------------------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """A process death injected at a registered crashpoint.
+
+    Deliberately *not* a :class:`PolarisError` (not even an
+    :class:`Exception`): a crashed process runs no error handlers, so the
+    crash must unwind past every ``except PolarisError`` /
+    ``except Exception`` cleanup path in the engine.  Code that must stay
+    crash-transparent adds an explicit ``except SimulatedCrash: raise``
+    clause ahead of its broad handlers; only the chaos harness (the
+    simulated process boundary) catches it for real.
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at {site}")
+        #: The registered crashpoint name where the process died.
+        self.site = site
+
+
+class RecoveryError(PolarisError):
+    """Restart recovery found a state it cannot reconcile.
+
+    Raised by :class:`repro.chaos.RecoveryManager` in strict mode when an
+    invariant that recovery is supposed to restore provably does not hold
+    (e.g. a committed ``Manifests`` row whose manifest blob is gone).
+    """
+
+
+# --------------------------------------------------------------------------
 # Query engine / FE
 # --------------------------------------------------------------------------
 

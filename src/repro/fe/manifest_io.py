@@ -29,6 +29,9 @@ def load_manifest_actions(context: "ServiceContext", path: str) -> List[Action]:
         lambda: context.store.get(path),
         telemetry=context.telemetry,
         label="manifest_load",
+        clock=context.clock,
+        config=context.config.storage,
+        seed=context.config.seed,
     )
     return decode_manifest(blob.data)
 
@@ -75,6 +78,9 @@ def make_snapshot_cache(context: "ServiceContext") -> SnapshotCache:
                 lambda: context.store.get(row["path"]),
                 telemetry=context.telemetry,
                 label="checkpoint_load",
+                clock=context.clock,
+                config=context.config.storage,
+                seed=context.config.seed,
             )
         except BlobNotFoundError:
             return None

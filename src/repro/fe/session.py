@@ -14,7 +14,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.common.errors import TransactionStateError, WriteConflictError
+from repro.common.errors import (
+    SimulatedCrash,
+    TransactionStateError,
+    WriteConflictError,
+)
 from repro.engine.batch import Batch
 from repro.engine.expressions import Expr
 from repro.engine.planner import Plan
@@ -243,6 +247,10 @@ class Session:
             txn.retries = attempt - 1
             try:
                 result = self._traced(statement, txn, name, span_attrs)
+            except SimulatedCrash:
+                # A dead process cannot roll back; recovery scavenges the
+                # transaction from the engine's active registry instead.
+                raise
             except BaseException:
                 txn.rollback()
                 raise

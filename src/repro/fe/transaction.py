@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from repro.common.errors import TransactionStateError
+from repro.chaos.crashpoints import crashpoint
+from repro.common.errors import SimulatedCrash, TransactionStateError
 from repro.fe.context import ServiceContext
 from repro.lst.actions import Action
 from repro.lst.manifest import encode_actions, reconcile_actions
@@ -188,13 +189,18 @@ class PolarisTransaction:
         """
         state = self.write_state(table_id)
         state.committed_block_ids.extend(new_block_ids)
+        crashpoint("fe.write.before_manifest_flush")
         with_retries(
             lambda: self._context.store.commit_block_list(
                 state.manifest_path, state.committed_block_ids
             ),
             telemetry=self._context.telemetry,
             label="manifest_flush",
+            clock=self._context.clock,
+            config=self._context.config.storage,
+            seed=self._context.config.seed,
         )
+        crashpoint("fe.write.after_manifest_flush")
         state.actions.extend(new_actions)
 
     def flush_rewrite(self, table_id: int, new_actions: List[Action]) -> List[str]:
@@ -216,14 +222,21 @@ class PolarisTransaction:
             lambda: writer.write_block(encode_actions(net)),
             telemetry=self._context.telemetry,
             label="manifest_rewrite",
+            clock=self._context.clock,
+            config=self._context.config.storage,
+            seed=self._context.config.seed,
         )
         state.committed_block_ids = [block_id]
+        crashpoint("fe.rewrite.before_manifest_flush")
         with_retries(
             lambda: self._context.store.commit_block_list(
                 state.manifest_path, [block_id]
             ),
             telemetry=self._context.telemetry,
             label="manifest_rewrite",
+            clock=self._context.clock,
+            config=self._context.config.storage,
+            seed=self._context.config.seed,
         )
         return orphans
 
@@ -244,6 +257,10 @@ class PolarisTransaction:
             with tel.activate(self.span):
                 with tel.span("txn.commit", "txn", txid=self.txid):
                     commit_seq = self._validate_and_commit()
+        except SimulatedCrash:
+            # A crashed process runs no abort path: no span bookkeeping, no
+            # txn.aborted event — RecoveryManager inherits the mess.
+            raise
         except BaseException as exc:
             # The loser of a first-committer-wins race (or any other
             # validation failure) keeps its span — marked failed, never
@@ -264,6 +281,7 @@ class PolarisTransaction:
 
     def _validate_and_commit(self) -> Optional[int]:
         """The validation-phase body of :meth:`commit` (Section 4.1.2)."""
+        crashpoint("fe.commit.before_validation")
         dirty = [s for s in self._writes.values() if s.actions]
         granularity = self._context.config.txn.conflict_granularity
         for state in dirty:
@@ -274,6 +292,7 @@ class PolarisTransaction:
                     catalog.upsert_writeset(self.root, state.table_id, file_name)
             else:
                 catalog.upsert_writeset(self.root, state.table_id)
+        crashpoint("fe.commit.after_writesets")
 
         if dirty:
             committed_at = self._context.clock.now
@@ -293,6 +312,7 @@ class PolarisTransaction:
             self.root.set_pre_install_hook(stamp_manifests)
 
         commit_seq = self.root.commit()
+        crashpoint("fe.commit.after_sqldb_commit")
         for state in dirty:
             self._context.bus.publish(
                 "txn.committed",

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro.chaos.crashpoints import crashpoint
 from repro.common.clock import SimulatedClock
 from repro.common.errors import TransactionStateError
 from repro.common.ids import MonotonicSequence
 from repro.sqldb.locks import CommitLock
 from repro.sqldb.mvcc import TOMBSTONE, VersionedStore
-from repro.sqldb.transaction import IsolationLevel, SqlDbTransaction
+from repro.sqldb.transaction import IsolationLevel, SqlDbTransaction, TxnState
 
 
 class SqlDbEngine:
@@ -61,14 +62,42 @@ class SqlDbEngine:
             return None
         with self._commit_lock.held(txn.txid):
             txn.validate(self.store)
+            crashpoint("sqldb.commit.after_validate")
             commit_seq = self._commit_seq.next()
             if txn._pre_install_hook is not None:
                 txn._pre_install_hook(commit_seq)
             for key, value in sorted(txn.buffered_writes().items()):
                 stored = value if value is TOMBSTONE else dict(value)
                 self.store.install(key, commit_seq, stored, txn.txid)
+        crashpoint("sqldb.commit.after_install")
         self._committed_count += 1
         return commit_seq
+
+    def recover_in_doubt(self) -> Dict[str, int]:
+        """Resolve every transaction left active by a crashed process.
+
+        The durability rule mirrors a real SQL DB restart: a transaction
+        whose writes reached the version store (its install loop ran under
+        the commit lock) is *committed* — its effects are already visible
+        to every reader — so recovery only finishes the bookkeeping.  A
+        transaction with no installed writes never got past validation and
+        is aborted, discarding its buffered writes.  Returns counts per
+        outcome.
+        """
+        outcome = {"committed": 0, "aborted": 0}
+        for txn in list(self._active.values()):
+            installed_seq = self.store.last_installed_seq_of(txn.txid)
+            if installed_seq is not None:
+                txn.state = TxnState.COMMITTED
+                txn.commit_seq = installed_seq
+                txn.buffered_writes().clear()
+                self._active.pop(txn.txid, None)
+                self._committed_count += 1
+                outcome["committed"] += 1
+            else:
+                txn.abort()
+                outcome["aborted"] += 1
+        return outcome
 
     def forget(self, txn: SqlDbTransaction) -> None:
         """Remove a finished transaction from the active registry."""

@@ -76,6 +76,23 @@ class VersionedStore:
         chain = self._chains.get(key)
         return bool(chain) and chain[-1].commit_seq > seq
 
+    def last_installed_seq_of(self, txid: int) -> Optional[int]:
+        """Newest commit sequence installed by transaction ``txid``.
+
+        Returns None when the transaction installed nothing.  Restart
+        recovery uses this to resolve in-doubt transactions: a transaction
+        that crashed after its install loop is durably committed even
+        though the engine never finished its bookkeeping.
+        """
+        best: Optional[int] = None
+        for chain in self._chains.values():
+            for version in chain:
+                if version.txid == txid and (
+                    best is None or version.commit_seq > best
+                ):
+                    best = version.commit_seq
+        return best
+
     def keys_of_table(self, table: str) -> Iterator[Key]:
         """All keys ever written for ``table`` (any visibility)."""
         for key in self._chains:

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.chaos.crashpoints import crashpoint
+from repro.common.errors import SimulatedCrash
 from repro.fe.context import ServiceContext
 from repro.lst.checkpoint import Checkpoint
 from repro.sqldb import system_tables as catalog
@@ -69,12 +71,16 @@ def run_checkpoint(
     created_at = context.clock.now
     checkpoint = Checkpoint.of(snapshot, created_at)
     path = paths.checkpoint_path(context.database, table_id, top_seq)
+    crashpoint("sto.checkpoint.before_blob_put")
     context.store.put(path, checkpoint.to_bytes())
+    crashpoint("sto.checkpoint.after_blob_put")
 
     txn = context.sqldb.begin()
     try:
         catalog.insert_checkpoint(txn, table_id, top_seq, path, created_at)
         txn.commit()
+    except SimulatedCrash:
+        raise
     except BaseException:
         if txn.state.value == "active":
             txn.abort()

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.common.errors import TransactionAbortedError
+from repro.chaos.crashpoints import crashpoint
+from repro.common.errors import SimulatedCrash, TransactionAbortedError
 from repro.dcp.dag import WorkflowDag
 from repro.dcp.tasks import Task, TaskContext
 from repro.engine.batch import Batch, concat_batches, num_rows
@@ -51,9 +52,14 @@ def run_compaction(context: ServiceContext, table_id: int) -> CompactionResult:
     on a later trigger.
     """
     txn = PolarisTransaction(context)
+    # Cleanup is explicit per-outcome (not a ``finally``) so a simulated
+    # crash leaves the transaction exactly as a dead process would: active
+    # in the engine registry, for recovery to scavenge.
     try:
-        return _compact_in_txn(context, txn, table_id)
+        result = _compact_in_txn(context, txn, table_id)
     except TransactionAbortedError:
+        if txn.is_active:
+            txn.rollback()
         return CompactionResult(
             table_id=table_id,
             committed=False,
@@ -61,9 +67,15 @@ def run_compaction(context: ServiceContext, table_id: int) -> CompactionResult:
             files_created=0,
             rows_compacted=0,
         )
-    finally:
+    except SimulatedCrash:
+        raise
+    except BaseException:
         if txn.is_active:
             txn.rollback()
+        raise
+    if txn.is_active:
+        txn.rollback()
+    return result
 
 
 def _compact_in_txn(
@@ -148,7 +160,9 @@ def _compact_in_txn(
     state.has_update_or_delete = True
     state.touched_files.update(victims)
     txn.flush_rewrite(table_id, new_actions)
+    crashpoint("sto.compaction.before_commit")
     sequence_id = txn.commit()
+    crashpoint("sto.compaction.after_commit")
     return CompactionResult(
         table_id=table_id,
         committed=True,

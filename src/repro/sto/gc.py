@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
+from repro.chaos.crashpoints import crashpoint
+from repro.common.errors import SimulatedCrash
 from repro.fe.context import ServiceContext
 from repro.sqldb import system_tables as catalog
 
@@ -121,6 +123,7 @@ def run_garbage_collection(context: ServiceContext) -> GcReport:
     inactive -= active
 
     if stale_checkpoints or stale_manifests:
+        crashpoint("sto.gc.before_catalog_cleanup")
         cleanup = context.sqldb.begin()
         try:
             for table_id, sequence_id, __ in stale_checkpoints:
@@ -128,6 +131,8 @@ def run_garbage_collection(context: ServiceContext) -> GcReport:
             for table_id, sequence_id in stale_manifests:
                 cleanup.delete(catalog.MANIFESTS, (table_id, sequence_id))
             cleanup.commit()
+        except SimulatedCrash:
+            raise
         except BaseException:
             if cleanup.state.value == "active":
                 cleanup.abort()
@@ -141,6 +146,12 @@ def run_garbage_collection(context: ServiceContext) -> GcReport:
     inactive -= active
 
     report = GcReport()
+
+    def delete_blob(path: str) -> None:
+        """Physically delete one blob (the crash-prone step of the scan)."""
+        crashpoint("sto.gc.mid_delete")
+        context.store.delete(path)
+
     prefix = f"internal/{context.database}/tables/"
     for blob in list(context.store.list(prefix)):
         report.scanned += 1
@@ -148,13 +159,13 @@ def run_garbage_collection(context: ServiceContext) -> GcReport:
             report.active += 1
             continue
         if blob.path in inactive:
-            context.store.delete(blob.path)
+            delete_blob(blob.path)
             report.deleted_expired.append(blob.path)
             continue
         # Neither set: in-flight private file or aborted-transaction orphan.
         created = _creation_stamp(blob)
         if min_active_ts is None or created < min_active_ts:
-            context.store.delete(blob.path)
+            delete_blob(blob.path)
             report.deleted_orphans.append(blob.path)
         else:
             report.retained_recent.append(blob.path)

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.chaos.crashpoints import crashpoint
 from repro.fe.context import ServiceContext
 from repro.fe.manifest_io import load_manifest_actions
 from repro.lst.actions import (
@@ -65,7 +66,9 @@ class DeltaPublisher:
         for action in actions:
             lines.append(json.dumps(_to_delta(action), separators=(",", ":")))
         path = paths.published_delta_log_path(context.database, table_name, version)
+        crashpoint("sto.publish.before_log_write")
         context.store.put(path, ("\n".join(lines) + "\n").encode("utf-8"))
+        crashpoint("sto.publish.after_log_write")
         self._ensure_shortcut(table_name, table_id)
         self._versions[table_name] = version
         record = PublishedVersion(
@@ -76,6 +79,35 @@ class DeltaPublisher:
         )
         self.published.append(record)
         return record
+
+    def resync(self, table_name: str, table_id: int) -> Optional[int]:
+        """Rebuild in-memory publish state for a table from the store.
+
+        Restart recovery calls this: the publisher's version counter and
+        last published sequence live only in process memory, so after a
+        crash they must be re-derived from the ``_delta_log`` blobs
+        themselves.  Re-ensures the shortcut (completing a publish that
+        died between the log write and the shortcut write).  Returns the
+        last published Polaris sequence id, or None when nothing is
+        published yet.
+        """
+        context = self._context
+        prefix = paths.published_root(context.database, table_name) + "/_delta_log/"
+        last_version: Optional[int] = None
+        last_sequence: Optional[int] = None
+        for blob in context.store.list(prefix):
+            name = blob.path.rsplit("/", 1)[1]
+            version = int(name.split(".", 1)[0])
+            if last_version is None or version > last_version:
+                last_version = version
+                header = json.loads(blob.data.split(b"\n", 1)[0].decode("utf-8"))
+                last_sequence = header["commitInfo"].get("polarisSequenceId")
+        if last_version is None:
+            self._versions.pop(table_name, None)
+            return None
+        self._versions[table_name] = last_version
+        self._ensure_shortcut(table_name, table_id)
+        return last_sequence
 
     def _ensure_shortcut(self, table_name: str, table_id: int) -> None:
         """Map the published location onto the internal data folder once."""

@@ -4,17 +4,31 @@ The Polaris DCP's resilience story (Section 4.3: task restart, stale-block
 discard, garbage collection of orphans) is only testable if the substrate
 can actually fail.  :class:`FaultInjector` fails a configurable fraction of
 requests with :class:`~repro.common.errors.TransientStorageError`, from a
-seeded PRNG so failures are reproducible.  Tests can also arm targeted
-one-shot failures matched by path substring.
+seeded PRNG so failures are reproducible.  Rates can be overridden per
+store operation (``operation_failure_rates``), and tests can arm targeted
+counted failures matched by path substring — fail the next N matching
+requests, one-shot being the N=1 default.  Every injected fault bumps
+:attr:`FaultInjector.injected`, which the object store mirrors into the
+``storage.faults_injected`` telemetry counter.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from repro.common.config import StorageConfig
 from repro.common.errors import TransientStorageError
+
+
+@dataclass
+class _ArmedFault:
+    """One armed targeted failure: match pattern plus remaining budget."""
+
+    path_substring: str
+    operation: str | None
+    remaining: int
 
 
 class FaultInjector:
@@ -22,22 +36,57 @@ class FaultInjector:
 
     def __init__(self, config: StorageConfig) -> None:
         self._rate = config.transient_failure_rate
+        self._operation_rates = dict(config.operation_failure_rates)
         self._rng = random.Random(config.failure_seed)
-        #: (path substring, operation-or-None) patterns that fail exactly once.
-        self._armed: List[Tuple[str, str | None]] = []
+        self._armed: List[_ArmedFault] = []
+        #: Total faults injected so far (armed + random).
+        self.injected = 0
 
-    def arm(self, path_substring: str, operation: str | None = None) -> None:
-        """Arm a one-shot failure for the next matching request."""
-        self._armed.append((path_substring, operation))
+    def arm(
+        self,
+        path_substring: str,
+        operation: str | None = None,
+        count: int = 1,
+    ) -> None:
+        """Arm a counted failure: the next ``count`` matching requests fail.
+
+        ``count=1`` (the default) keeps the historical one-shot semantics.
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self._armed.append(_ArmedFault(path_substring, operation, count))
+
+    @property
+    def armed_remaining(self) -> int:
+        """Total failures still armed across all patterns."""
+        return sum(fault.remaining for fault in self._armed)
+
+    def quiesce(self) -> None:
+        """Stop all randomized injection (armed counted faults persist).
+
+        Chaos harnesses call this before their final verification pass:
+        the invariant battery must observe the store, not fight it.
+        """
+        self._rate = 0.0
+        self._operation_rates.clear()
+
+    def rate_for(self, operation: str) -> float:
+        """The effective random failure rate for one store operation."""
+        return self._operation_rates.get(operation, self._rate)
 
     def check(self, operation: str, path: str) -> None:
         """Raise :class:`TransientStorageError` if this request must fail."""
-        for index, (substring, wanted_op) in enumerate(self._armed):
-            op_matches = wanted_op is None or wanted_op == operation
-            if substring in path and op_matches:
-                del self._armed[index]
+        for index, fault in enumerate(self._armed):
+            op_matches = fault.operation is None or fault.operation == operation
+            if fault.path_substring in path and op_matches:
+                fault.remaining -= 1
+                if fault.remaining <= 0:
+                    del self._armed[index]
+                self.injected += 1
                 raise TransientStorageError(
-                    f"injected one-shot fault: {operation} {path}"
+                    f"injected counted fault: {operation} {path}"
                 )
-        if self._rate > 0 and self._rng.random() < self._rate:
+        rate = self.rate_for(operation)
+        if rate > 0 and self._rng.random() < rate:
+            self.injected += 1
             raise TransientStorageError(f"injected random fault: {operation} {path}")

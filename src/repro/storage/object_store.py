@@ -276,6 +276,31 @@ class ObjectStore:
         state = self._blocks.get(path)
         return list(state.committed_order) if state else []
 
+    def staged_paths(self) -> List[str]:
+        """Paths that currently hold staged (uncommitted) blocks.
+
+        Restart recovery scavenges these: a staged block belonged to a
+        writer that died before its commit-block-list, so it can never be
+        legitimately named again.
+        """
+        return sorted(
+            path for path, state in self._blocks.items() if state.staged
+        )
+
+    def discard_staged(self, path: str) -> int:
+        """Drop all staged (uncommitted) blocks of ``path``; returns count.
+
+        Committed content is untouched.  Management operation used by
+        restart recovery — not subject to fault injection.
+        """
+        state = self._blocks.get(path)
+        if state is None or not state.staged:
+            return 0
+        count = len(state.staged)
+        state.staged = {}
+        self._account("discard_staged", path)
+        return count
+
     # -- internals ----------------------------------------------------------
 
     def _next_etag(self) -> int:

@@ -179,7 +179,7 @@ class Telemetry:
     def storage_fault(self, operation: str, path: str) -> None:
         """Account one injected transient storage fault."""
         if self.metering:
-            self.metrics.counter("storage.faults", op=operation).inc()
+            self.metrics.counter("storage.faults_injected", op=operation).inc()
         if self.tracing:
             self.tracer.add_event("storage.fault", op=operation, path=path)
 
@@ -199,13 +199,31 @@ class Telemetry:
 
     # -- retry hooks ----------------------------------------------------------
 
-    def retry_attempt(self, label: str, attempt: int, error: BaseException) -> None:
-        """Account one failed attempt inside ``with_retries``."""
+    def retry_attempt(
+        self,
+        label: str,
+        attempt: int,
+        error: BaseException,
+        backoff_s: float = 0.0,
+    ) -> None:
+        """Account one failed attempt inside ``with_retries``.
+
+        ``backoff_s`` is the simulated backoff charged before the next
+        attempt (0 for the final failure, which has no next attempt).
+        """
         if self.metering:
             self.metrics.counter("storage.retry_attempts", label=label).inc()
+            if backoff_s > 0:
+                self.metrics.histogram(
+                    "storage.retry_backoff_s", label=label
+                ).observe(backoff_s)
         if self.tracing:
             self.tracer.add_event(
-                "retry", label=label, attempt=attempt, error=type(error).__name__
+                "retry",
+                label=label,
+                attempt=attempt,
+                error=type(error).__name__,
+                backoff_s=backoff_s,
             )
 
     def retry_outcome(self, label: str, attempts: int, succeeded: bool) -> None:

@@ -1,0 +1,213 @@
+"""Tests for the restart RecoveryManager over injected-crash states."""
+
+import numpy as np
+import pytest
+
+from repro import Schema, Warehouse
+from repro.chaos import (
+    ChaosController,
+    RecoveryError,
+    RecoveryManager,
+    SimulatedCrash,
+)
+from repro.sqldb import system_tables as catalog
+from repro.storage import paths
+
+SCHEMA = Schema.of(("id", "int64"), ("v", "float64"))
+
+
+def batch(start, count):
+    ids = np.arange(start, start + count, dtype=np.int64)
+    return {"id": ids, "v": ids.astype(np.float64)}
+
+
+@pytest.fixture
+def dw(config):
+    wh = Warehouse(config=config, auto_optimize=False)
+    wh.sto.auto_publish = True
+    return wh
+
+
+@pytest.fixture
+def loaded(dw):
+    session = dw.session()
+    table_id = session.create_table("t", SCHEMA, distribution_column="id")
+    session.insert("t", batch(0, 100))
+    return dw, session, table_id
+
+
+def crash_at(dw, site, thunk, hits=1):
+    """Run ``thunk`` with ``site`` armed; assert the crash fired."""
+    controller = ChaosController(seed=0).arm(site, hits=hits)
+    with controller:
+        with pytest.raises(SimulatedCrash):
+            thunk()
+    return controller
+
+
+class TestInDoubtResolution:
+    def test_crash_before_sqldb_commit_aborts(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "fe.commit.after_writesets",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        assert dw.context.sqldb.active_transactions
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.in_doubt_aborted >= 1
+        assert report.in_doubt_committed == 0
+        assert not dw.context.sqldb.active_transactions
+        assert dw.session().table_snapshot("t").live_rows == 100
+
+    def test_crash_after_install_commits(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "sqldb.commit.after_install",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.in_doubt_committed == 1
+        assert not dw.context.sqldb.active_transactions
+        assert dw.session().table_snapshot("t").live_rows == 150
+
+    def test_crash_after_sqldb_commit_loses_nothing(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "fe.commit.after_sqldb_commit",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.in_doubt_aborted == 0
+        assert dw.session().table_snapshot("t").live_rows == 150
+        assert report.publishes_completed >= 1
+
+
+class TestStagedBlocks:
+    def test_staged_blocks_discarded(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "fe.write.before_manifest_flush",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        assert dw.store.staged_paths()
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.staged_blocks_discarded >= 1
+        assert not dw.store.staged_paths()
+
+
+class TestCheckpointReconciliation:
+    def test_orphan_checkpoint_blob_deleted_and_rerun_succeeds(self, loaded):
+        dw, session, table_id = loaded
+        crash_at(
+            dw,
+            "sto.checkpoint.after_blob_put",
+            lambda: dw.sto.run_checkpoint(table_id),
+        )
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert len(report.orphan_checkpoint_blobs_deleted) == 1
+        # The deterministic path is free again: the checkpoint re-runs.
+        result = dw.sto.run_checkpoint(table_id)
+        assert result is not None
+
+    def test_checkpoint_row_without_blob_dropped(self, loaded):
+        dw, session, table_id = loaded
+        result = dw.sto.run_checkpoint(table_id)
+        dw.store.delete(result.path)
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.checkpoint_rows_dropped == [result.path]
+        txn = dw.context.sqldb.begin()
+        try:
+            assert not catalog.checkpoints_for_table(txn, table_id)
+        finally:
+            txn.abort()
+
+
+class TestPublishCompletion:
+    def test_missed_publish_completed(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "sto.publish.before_log_write",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.publishes_completed >= 1
+        log_prefix = paths.published_root(dw.context.database, "t") + "/_delta_log/"
+        versions = [blob.path for blob in dw.store.list(log_prefix)]
+        assert len(versions) == 2  # the original load plus the recovered one
+
+    def test_publish_versions_continue_after_resync(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "sto.publish.after_log_write",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        RecoveryManager(dw.context, sto=dw.sto).recover()
+        session2 = dw.session()
+        session2.insert("t", batch(200, 10))
+        log_prefix = paths.published_root(dw.context.database, "t") + "/_delta_log/"
+        names = sorted(
+            blob.path.rsplit("/", 1)[1] for blob in dw.store.list(log_prefix)
+        )
+        versions = [int(name.split(".", 1)[0]) for name in names]
+        assert versions == list(range(len(versions)))
+
+
+class TestStrictMode:
+    def test_missing_manifest_raises_in_strict_mode(self, loaded):
+        dw, session, table_id = loaded
+        txn = dw.context.sqldb.begin()
+        try:
+            rows = catalog.manifests_for_table(txn, table_id)
+        finally:
+            txn.abort()
+        dw.store.delete(rows[-1]["manifest_path"])
+        with pytest.raises(RecoveryError):
+            RecoveryManager(dw.context, sto=dw.sto).recover()
+
+    def test_missing_manifest_reported_when_lenient(self, loaded):
+        dw, session, table_id = loaded
+        txn = dw.context.sqldb.begin()
+        try:
+            rows = catalog.manifests_for_table(txn, table_id)
+        finally:
+            txn.abort()
+        dw.store.delete(rows[-1]["manifest_path"])
+        report = RecoveryManager(dw.context, sto=dw.sto, strict=False).recover()
+        assert report.missing_manifests == [rows[-1]["manifest_path"]]
+
+
+class TestIdempotence:
+    def test_second_recovery_is_clean(self, loaded):
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "fe.write.before_manifest_flush",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        RecoveryManager(dw.context, sto=dw.sto).recover()
+        second = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert second.clean
+
+    def test_recovery_on_healthy_warehouse_is_clean(self, loaded):
+        dw, session, _ = loaded
+        report = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert report.in_doubt_committed == 0
+        assert report.in_doubt_aborted == 0
+        assert report.staged_blocks_discarded == 0
+        assert not report.missing_manifests
+
+    def test_recovery_emits_bus_event_and_metrics(self, loaded):
+        dw, session, _ = loaded
+        events = []
+        dw.context.bus.subscribe(
+            "recovery.completed", lambda event: events.append(event)
+        )
+        RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert len(events) == 1
+        assert dw.telemetry.metrics.value("recovery.runs") == 1

@@ -150,7 +150,7 @@ class TestRetriesInTrace:
             )
             >= 1
         )
-        assert metrics.value("storage.faults", op="commit_block_list") >= 1
+        assert metrics.value("storage.faults_injected", op="commit_block_list") >= 1
         retry_events = [
             e for s in dw.telemetry.spans for e in s.events if e.name == "retry"
         ]
