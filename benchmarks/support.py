@@ -12,17 +12,33 @@ Every benchmark module is also directly runnable as a script::
 
 ``--trace`` enables span tracing on every warehouse the benchmark creates
 and writes one combined Chrome trace (load it at https://ui.perfetto.dev);
-``--metrics`` prints the metrics-registry snapshot after the run.
+``--metrics`` prints the metrics-registry snapshot after the run;
+``--report`` prints each warehouse's DMV-based health report and writes
+``BENCH_observability.json`` with per-benchmark run totals
+(``scripts/bench_compare.py`` diffs two such files for CI regression
+gating).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import time
 from typing import Iterable, List, Sequence
 
 from repro import PolarisConfig, Warehouse
 from repro.telemetry import combined_chrome_trace, instances, tracing_instances
+from repro.telemetry.introspection import instances as introspector_instances
+
+#: Summary fields accumulated across every warehouse one benchmark creates.
+_SUMMARY_FIELDS = (
+    "bytes_read",
+    "bytes_written",
+    "txns_committed",
+    "txns_aborted",
+    "txns_active",
+)
 
 #: Set by :func:`bench_main` when ``--trace`` / ``--metrics`` are given;
 #: :func:`bench_config` reads it so every warehouse a benchmark creates is
@@ -122,35 +138,93 @@ def bench_main(*bench_fns) -> None:
         action="store_true",
         help="print the metrics-registry snapshot after the run",
     )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "print DMV-based health reports and write "
+            "BENCH_observability.json with per-benchmark run totals"
+        ),
+    )
     args = parser.parse_args()
     if args.trace is not None:
         # Fail on an unwritable path now, not after the whole run.
         with open(args.trace, "w", encoding="utf-8"):
             pass
     _SCRIPT_TELEMETRY["trace"] = args.trace is not None
-    _SCRIPT_TELEMETRY["metrics"] = args.metrics
+    # The report's byte/request totals come from the metrics registry, so
+    # --report implies metering (printing still requires --metrics).
+    _SCRIPT_TELEMETRY["metrics"] = args.metrics or args.report
 
-    traced_before = len(tracing_instances())
-    metered_before = len(instances())
-    for fn in bench_fns:
-        fn(_ScriptBenchmark())
+    instrumented = args.trace is not None or _SCRIPT_TELEMETRY["metrics"]
+    if instrumented:
+        # The trace/metrics/report outputs enumerate weakly-registered
+        # telemetry and introspector instances after the workloads ran.
+        # Warehouses sit in reference cycles, so they die at whatever
+        # moment the cyclic collector happens to run — which would make
+        # the enumeration (and the --report totals) timing-dependent.
+        # Hold collection until every summary has been taken.
+        gc.disable()
+    try:
+        traced_before = len(tracing_instances())
+        metered_before = len(instances())
+        observability = {}
+        for fn in bench_fns:
+            intro_before = len(introspector_instances())
+            started = time.perf_counter()
+            fn(_ScriptBenchmark())
+            wall_s = time.perf_counter() - started
+            if args.report:
+                created = introspector_instances()[intro_before:]
+                totals = {
+                    "warehouses": len(created),
+                    "wall_s": round(wall_s, 3),
+                    "simulated_s": 0.0,
+                }
+                totals.update({field: 0 for field in _SUMMARY_FIELDS})
+                for intro in created:
+                    summary = intro.summary()
+                    totals["simulated_s"] += summary["simulated_s"]
+                    for field in _SUMMARY_FIELDS:
+                        totals[field] += summary[field]
+                totals["simulated_s"] = round(totals["simulated_s"], 6)
+                observability[fn.__name__] = totals
+                for intro in created:
+                    print()
+                    print(intro.report())
 
-    if args.trace is not None:
-        traced = tracing_instances()[traced_before:]
-        groups = [
-            (f"run{i}:" if len(traced) > 1 else "", tel.spans)
-            for i, tel in enumerate(traced, start=1)
-        ]
-        document = combined_chrome_trace(groups)
-        with open(args.trace, "w", encoding="utf-8") as fh:
-            json.dump(document, fh)
-        spans = sum(len(g[1]) for g in groups)
-        print(f"\nwrote {spans} spans to {args.trace} (load at ui.perfetto.dev)")
-    if args.metrics:
-        for i, tel in enumerate(instances()[metered_before:], start=1):
-            snapshot = tel.metrics.snapshot()
-            if not snapshot:
-                continue
-            print(f"\n=== metrics (warehouse {i}) ===")
-            for key, value in sorted(snapshot.items()):
-                print(f"{key} = {value}")
+        if args.report:
+            with open("BENCH_observability.json", "w", encoding="utf-8") as fh:
+                json.dump(observability, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(
+                f"\nwrote BENCH_observability.json "
+                f"({len(observability)} benchmark(s))"
+            )
+
+        if args.trace is not None:
+            traced = tracing_instances()[traced_before:]
+            groups = [
+                (f"run{i}:" if len(traced) > 1 else "", tel.spans)
+                for i, tel in enumerate(traced, start=1)
+            ]
+            document = combined_chrome_trace(groups)
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                json.dump(document, fh)
+            spans = sum(len(g[1]) for g in groups)
+            print(
+                f"\nwrote {spans} spans to {args.trace} "
+                "(load at ui.perfetto.dev)"
+            )
+        if args.metrics:
+            for i, tel in enumerate(instances()[metered_before:], start=1):
+                snapshot = tel.metrics.snapshot()
+                if not snapshot:
+                    continue
+                print(f"\n=== metrics (warehouse {i}) ===")
+                for key, value in sorted(snapshot.items()):
+                    print(f"{key} = {value}")
+    finally:
+        if instrumented:
+            gc.enable()
+            gc.collect()

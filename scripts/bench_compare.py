@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_observability.json`` files and gate on regressions.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE CURRENT [--threshold 0.2]
+
+Each file maps benchmark name -> run totals as written by the harness's
+``--report`` flag (``benchmarks/support.py``).  Deterministic fields
+(simulated seconds, bytes read/written, transaction counts, warehouse
+count) are compared with a relative-change threshold: any field moving by
+more than ``--threshold`` (default 20%) in either direction fails the
+comparison with exit status 1.  ``wall_s`` is reported for context only —
+CI wall time is far too noisy to gate on.
+
+A benchmark present in the baseline but missing from the current run (or
+vice versa) is also a failure: silently dropping a benchmark is how
+regressions hide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+#: Fields gated by the relative-change threshold.  All are produced by a
+#: seeded simulation, so any drift is a real behavior change.
+GATED_FIELDS = (
+    "simulated_s",
+    "bytes_read",
+    "bytes_written",
+    "txns_committed",
+    "txns_aborted",
+    "txns_active",
+    "warehouses",
+)
+
+#: Fields printed for context but never gated.
+INFO_FIELDS = ("wall_s",)
+
+
+def relative_change(baseline: float, current: float) -> float:
+    """|current - baseline| / |baseline|; exact match required at zero."""
+    if baseline == 0:
+        return 0.0 if current == 0 else float("inf")
+    return abs(current - baseline) / abs(baseline)
+
+
+def compare(
+    baseline: Dict[str, Dict[str, float]],
+    current: Dict[str, Dict[str, float]],
+    threshold: float,
+) -> int:
+    """Print a per-field comparison; return the number of failures."""
+    failures = 0
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            print(f"FAIL {name}: missing from current run")
+            failures += 1
+            continue
+        if name not in baseline:
+            print(f"FAIL {name}: not in baseline (add it or regenerate)")
+            failures += 1
+            continue
+        base_row, cur_row = baseline[name], current[name]
+        print(f"{name}:")
+        for field in GATED_FIELDS:
+            if field not in base_row and field not in cur_row:
+                continue
+            base_value = base_row.get(field, 0)
+            cur_value = cur_row.get(field, 0)
+            change = relative_change(base_value, cur_value)
+            ok = change <= threshold
+            marker = "ok  " if ok else "FAIL"
+            percent = "inf" if change == float("inf") else f"{change:.1%}"
+            print(
+                f"  {marker} {field}: {base_value} -> {cur_value} "
+                f"({percent})"
+            )
+            if not ok:
+                failures += 1
+        for field in INFO_FIELDS:
+            if field in base_row or field in cur_row:
+                print(
+                    f"  info {field}: {base_row.get(field)} -> "
+                    f"{cur_row.get(field)} (not gated)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="maximum relative change per gated field (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print(f"\n{failures} field(s) regressed beyond {args.threshold:.0%}")
+        return 1
+    print(f"\nall gated fields within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,12 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set
 
 from repro.chaos.crashpoints import CRASHPOINTS
+from repro.telemetry.names import (
+    METRIC_NAMES,
+    SPAN_NAMES,
+    SPAN_PREFIXES,
+    is_well_formed,
+)
 from repro.analysis.framework import (
     Finding,
     ModuleSource,
@@ -630,6 +636,119 @@ class CrashpointDisciplineRule(Rule):
             seen.add(site)
 
 
+# -- metric-naming -------------------------------------------------------------
+
+#: Instrument-factory methods whose first argument names a metric family.
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+#: Span-factory methods whose first argument names a span or span event.
+_SPAN_FACTORIES = {"span", "start_span", "add_event"}
+
+
+@register
+class MetricNamingRule(Rule):
+    """Metric and span names are literal, well-formed, and registered.
+
+    ``sys.dm_metrics``, watchdog rules and the benchmark regression
+    harness address instrument families by name, so the vocabulary must
+    be statically enumerable: every ``.counter/.gauge/.histogram`` name
+    is a dotted-lowercase string literal registered in
+    :data:`repro.telemetry.names.METRIC_NAMES`, and every span or
+    span-event name outside ``telemetry/`` is either a literal in
+    :data:`~repro.telemetry.names.SPAN_NAMES` or a ``"prefix" + expr``
+    concatenation whose literal prefix is registered in
+    :data:`~repro.telemetry.names.SPAN_PREFIXES`.  This mirrors
+    crashpoint-discipline: one module owns the catalogue, the linter
+    keeps call sites honest.
+    """
+
+    name = "metric-naming"
+    description = (
+        "metric/span names are string literals registered in "
+        "repro.telemetry.names (METRIC_NAMES / SPAN_NAMES / SPAN_PREFIXES)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield unregistered or dynamic metric and span names."""
+        span_exempt = _in_dir(module, "telemetry")
+        for call in iter_calls(module.tree):
+            func = call_name(call)
+            if func in _METRIC_FACTORIES:
+                yield from self._check_metric(module, call, func)
+            elif func in _SPAN_FACTORIES and not span_exempt:
+                yield from self._check_span(module, call, func)
+
+    def _check_metric(
+        self, module: ModuleSource, call: ast.Call, func: str
+    ) -> Iterator[Finding]:
+        name = _literal_str(call.args[0]) if call.args else None
+        if name is None:
+            yield self.finding(
+                module,
+                call,
+                f".{func}(...) metric name must be a string literal so "
+                "the metric vocabulary is statically enumerable",
+            )
+            return
+        if not is_well_formed(name):
+            yield self.finding(
+                module,
+                call,
+                f"metric name {name!r} is not dotted lowercase "
+                "(segment(.segment)*)",
+            )
+        if name not in METRIC_NAMES:
+            yield self.finding(
+                module,
+                call,
+                f"metric {name!r} is not registered in "
+                "repro.telemetry.names.METRIC_NAMES",
+            )
+
+    def _check_span(
+        self, module: ModuleSource, call: ast.Call, func: str
+    ) -> Iterator[Finding]:
+        arg = call.args[0] if call.args else None
+        literal = _literal_str(arg) if arg is not None else None
+        if literal is not None:
+            if literal not in SPAN_NAMES:
+                yield self.finding(
+                    module,
+                    call,
+                    f"span/event name {literal!r} is not registered in "
+                    "repro.telemetry.names.SPAN_NAMES",
+                )
+            return
+        if (
+            isinstance(arg, ast.BinOp)
+            and isinstance(arg.op, ast.Add)
+            and isinstance(arg.left, ast.Constant)
+            and isinstance(arg.left.value, str)
+        ):
+            prefix = arg.left.value
+            if prefix not in SPAN_PREFIXES:
+                yield self.finding(
+                    module,
+                    call,
+                    f"span-name prefix {prefix!r} is not registered in "
+                    "repro.telemetry.names.SPAN_PREFIXES",
+                )
+            return
+        yield self.finding(
+            module,
+            call,
+            f".{func}(...) span/event name is dynamic; use a literal from "
+            "SPAN_NAMES or a '<registered prefix>' + suffix concatenation",
+        )
+
+
+def _literal_str(node: Optional[ast.AST]) -> Optional[str]:
+    """The string value of a literal node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
 #: Names of the rules shipped with the framework (import side effect of
 #: this module registers them; the list is for documentation/tests).
 SHIPPED_RULES: List[str] = [
@@ -641,4 +760,5 @@ SHIPPED_RULES: List[str] = [
     "no-swallowed-errors",
     "docstring-coverage",
     "crashpoint-discipline",
+    "metric-naming",
 ]

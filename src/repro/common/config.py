@@ -106,6 +106,15 @@ class TelemetryConfig:
     histogram_max_samples: int = 4096
     #: SQL statement text is truncated to this many chars in span attrs.
     sql_text_limit: int = 200
+    #: Metrics time-series sampling interval in simulated seconds.  0 (the
+    #: default) disables the sampler entirely: no ring buffer is allocated
+    #: and no clock watcher is armed.
+    sample_interval_s: float = 0.0
+    #: Ring-buffer capacity of retained metric samples.
+    sample_capacity: int = 512
+    #: Evaluate the default watchdog rules over the sampled series
+    #: (requires ``sample_interval_s`` > 0).
+    watchdog_enabled: bool = False
 
 
 @dataclass
@@ -155,6 +164,14 @@ class PolarisConfig:
             raise ValueError("telemetry.max_spans must be positive")
         if self.telemetry.histogram_max_samples <= 0:
             raise ValueError("telemetry.histogram_max_samples must be positive")
+        if self.telemetry.sample_interval_s < 0:
+            raise ValueError("telemetry.sample_interval_s must be >= 0")
+        if self.telemetry.sample_capacity <= 0:
+            raise ValueError("telemetry.sample_capacity must be positive")
+        if self.telemetry.watchdog_enabled and self.telemetry.sample_interval_s <= 0:
+            raise ValueError(
+                "telemetry.watchdog_enabled requires sample_interval_s > 0"
+            )
         for op, rate in self.storage.operation_failure_rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(

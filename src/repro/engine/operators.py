@@ -10,7 +10,7 @@ import numpy as np
 from repro.common.errors import PlanError
 from repro.engine import batch as batch_mod
 from repro.engine.batch import Batch
-from repro.engine.expressions import Expr, evaluate
+from repro.engine.expressions import Col, Expr, evaluate
 
 
 def filter_batch(batch: Batch, predicate: Expr) -> Batch:
@@ -25,7 +25,16 @@ def project(batch: Batch, outputs: Dict[str, Expr]) -> Batch:
     """Compute output columns from expressions over the input."""
     rows = batch_mod.num_rows(batch)
     if rows == 0:
-        return {name: np.empty(0, dtype=object) for name in outputs}
+        # Plain column references keep their input dtype so empty results
+        # stay schema-stable; computed expressions fall back to object.
+        return {
+            name: (
+                batch[expr.name]
+                if isinstance(expr, Col) and expr.name in batch
+                else np.empty(0, dtype=object)
+            )
+            for name, expr in outputs.items()
+        }
     return {name: evaluate(expr, batch) for name, expr in outputs.items()}
 
 

@@ -9,7 +9,7 @@ every test hermetic — two warehouses never share state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.clock import SimulatedClock
 from repro.common.config import PolarisConfig
@@ -23,6 +23,10 @@ from repro.lst.cache import SnapshotCache
 from repro.sqldb.engine import SqlDbEngine
 from repro.storage.object_store import ObjectStore
 from repro.telemetry.facade import Telemetry
+from repro.telemetry.timeseries import MetricsSampler, Watchdog, default_rules
+
+if TYPE_CHECKING:
+    from repro.telemetry.introspection import Introspector
 
 
 @dataclass
@@ -43,6 +47,9 @@ class ServiceContext:
     bus: EventBus
     #: Span tracing + metrics for the whole deployment.
     telemetry: Telemetry
+    #: Resolves ``sys.dm_*`` system-view names (attached after
+    #: construction, like the cache — it subscribes to the bus).
+    introspection: "Optional[Introspector]" = None
     #: Whether the deployment sizes pools per statement (serverless Fabric
     #: model) or keeps the fixed provisioned size (Synapse SQL DW model) —
     #: the contrast of Figure 8.
@@ -97,4 +104,23 @@ class ServiceContext:
         from repro.fe.manifest_io import make_snapshot_cache
 
         context.cache = make_snapshot_cache(context)
+        # The introspector needs the assembled context (bus, cache, sqldb)
+        # to subscribe its transaction ledger and resolve sys.dm_* views.
+        from repro.telemetry.introspection import Introspector
+
+        context.introspection = Introspector(context)
+        if telemetry.metering and config.telemetry.sample_interval_s > 0:
+            sampler = MetricsSampler(
+                clock,
+                telemetry.metrics,
+                interval_s=config.telemetry.sample_interval_s,
+                capacity=config.telemetry.sample_capacity,
+            )
+            telemetry.sampler = sampler
+            if config.telemetry.watchdog_enabled:
+                telemetry.watchdog = Watchdog(
+                    telemetry.metrics, bus, rules=default_rules()
+                )
+                sampler.subscribe(telemetry.watchdog.observe)
+            sampler.start()
         return context

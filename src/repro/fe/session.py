@@ -37,6 +37,21 @@ class Session:
     def __init__(self, context: ServiceContext) -> None:
         self._context = context
         self._txn: Optional[PolarisTransaction] = None
+        self._sql = None
+
+    def sql(self, text: str):
+        """Execute one SQL statement against this session.
+
+        Convenience front door over :class:`repro.sql.runner.SqlSession`
+        (created lazily, imported lazily to avoid a circular import):
+        SELECTs return a batch, DML a row count, and ``sys.dm_*`` system
+        views resolve to live engine state.
+        """
+        if self._sql is None:
+            from repro.sql.runner import SqlSession
+
+            self._sql = SqlSession(self)
+        return self._sql.execute(text)
 
     # -- explicit transactions -------------------------------------------------
 

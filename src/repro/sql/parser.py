@@ -93,6 +93,13 @@ class _Parser:
             )
         return token.value
 
+    def _table_name(self) -> str:
+        """A possibly dotted table name (``t``, ``sys.dm_transactions``)."""
+        name = self._expect_ident()
+        while self._accept_op("."):
+            name += "." + self._expect_ident()
+        return name
+
     def _expect_end(self) -> None:
         self._accept_op(";")  # an optional statement terminator
         if self._peek().kind != "eof":
@@ -136,7 +143,7 @@ class _Parser:
         while self._accept_op(","):
             items.append(self._select_item())
         self._expect_keyword("FROM")
-        table = self._expect_ident()
+        table = self._table_name()
         joins: List[JoinSpec] = []
         while self._at_keyword("JOIN", "INNER"):
             self._accept_keyword("INNER")
@@ -184,7 +191,7 @@ class _Parser:
         return SelectItem(expr=expr, alias=alias)
 
     def _join_spec(self) -> JoinSpec:
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_keyword("ON")
         left_keys: List[SColumn] = []
         right_keys: List[SColumn] = []
@@ -212,7 +219,7 @@ class _Parser:
     def _insert(self) -> InsertStatement:
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_op("(")
         columns = [self._expect_ident()]
         while self._accept_op(","):
@@ -239,13 +246,13 @@ class _Parser:
     def _delete(self) -> DeleteStatement:
         self._expect_keyword("DELETE")
         self._expect_keyword("FROM")
-        table = self._expect_ident()
+        table = self._table_name()
         where = self._expr() if self._accept_keyword("WHERE") else None
         return DeleteStatement(table=table, where=where)
 
     def _update(self) -> UpdateStatement:
         self._expect_keyword("UPDATE")
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_keyword("SET")
         assignments = [self._assignment()]
         while self._accept_op(","):
@@ -261,7 +268,7 @@ class _Parser:
     def _create_table(self) -> CreateTableStatement:
         self._expect_keyword("CREATE")
         self._expect_keyword("TABLE")
-        table = self._expect_ident()
+        table = self._table_name()
         self._expect_op("(")
         columns = [self._column_def()]
         while self._accept_op(","):

@@ -8,6 +8,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.engine.batch import Batch
+from repro.engine.executor import dict_scan_source, execute_plan
 from repro.engine.explain import AnalyzeResult, explain as explain_plan
 from repro.engine.expressions import Lit
 from repro.fe.catalog import describe_table, table_schema
@@ -81,6 +82,16 @@ class SqlSession:
         if not isinstance(statement, SelectStatement):
             raise SqlSyntaxError("EXPLAIN supports only SELECT statements")
         tables = [statement.table] + [j.table for j in statement.joins]
+        if any(_is_system_name(t) for t in tables):
+            if analyze:
+                raise SqlSyntaxError(
+                    "EXPLAIN ANALYZE is not supported on sys.* system views"
+                )
+            schemas = {
+                table: self._introspector(table).schema(table)
+                for table in tables
+            }
+            return explain_plan(Binder(schemas).bind_select(statement))
         plan = Binder(self._schemas_for(tables)).bind_select(statement)
         if not analyze:
             return explain_plan(plan)
@@ -100,10 +111,48 @@ class SqlSession:
 
     def _select(self, stmt: SelectStatement) -> Batch:
         tables = [stmt.table] + [j.table for j in stmt.joins]
+        if any(_is_system_name(t) for t in tables):
+            return self._select_system(stmt, tables)
         plan = Binder(self._schemas_for(tables)).bind_select(stmt)
         return self.session.query(plan)
 
+    # -- system views ---------------------------------------------------------
+
+    def _introspector(self, name: str):
+        """The context's introspector; rejects names it cannot resolve."""
+        introspector = self.session._context.introspection
+        if introspector is None:
+            raise SqlSyntaxError(
+                f"cannot resolve {name!r}: this deployment has no introspector"
+            )
+        if not introspector.has_view(name):
+            raise SqlSyntaxError(
+                f"unknown system view {name!r}; available: "
+                + ", ".join(introspector.view_names())
+            )
+        return introspector
+
+    def _select_system(self, stmt: SelectStatement, tables: List[str]) -> Batch:
+        """SELECT over ``sys.dm_*`` views: bind against the view schemas and
+        execute over batches materialized from live engine state — no user
+        transaction is opened, so the query never observes itself."""
+        user_tables = [t for t in tables if not _is_system_name(t)]
+        if user_tables:
+            raise SqlSyntaxError(
+                "system views cannot be joined with user tables: "
+                + ", ".join(user_tables)
+            )
+        schemas = {}
+        batches = {}
+        for table in tables:
+            introspector = self._introspector(table)
+            schemas[table] = introspector.schema(table)
+            batches[table] = introspector.batch(table)
+        plan = Binder(schemas).bind_select(stmt)
+        return execute_plan(plan, dict_scan_source(batches))
+
     def _insert(self, stmt: InsertStatement) -> int:
+        _reject_system_write(stmt.table, "INSERT")
         schema = self._schemas_for([stmt.table])[stmt.table]
         missing = [c for c in stmt.columns if c not in schema]
         if missing:
@@ -120,6 +169,7 @@ class SqlSession:
         return self.session.insert(stmt.table, batch)
 
     def _delete(self, stmt: DeleteStatement) -> int:
+        _reject_system_write(stmt.table, "DELETE")
         binder = Binder(self._schemas_for([stmt.table]))
         if stmt.where is None:
             return self.session.delete(stmt.table, Lit(True))
@@ -132,6 +182,7 @@ class SqlSession:
         return self.session.delete(stmt.table, predicate, prune=prune)
 
     def _update(self, stmt: UpdateStatement) -> int:
+        _reject_system_write(stmt.table, "UPDATE")
         binder = Binder(self._schemas_for([stmt.table]))
         assignments = {
             column: binder._bind_expr(expr, [stmt.table])
@@ -151,6 +202,7 @@ class SqlSession:
         return self.session.update(stmt.table, predicate, assignments, prune=prune)
 
     def _create_table(self, stmt: CreateTableStatement) -> int:
+        _reject_system_write(stmt.table, "CREATE TABLE")
         schema = Schema.of(*stmt.columns)
         sort = stmt.options.get("sort")
         return self.session.create_table(
@@ -174,6 +226,17 @@ class SqlSession:
 def execute(session: Session, text: str):
     """One-shot convenience: ``execute(session, "SELECT ...")``."""
     return SqlSession(session).execute(text)
+
+
+def _is_system_name(table: str) -> bool:
+    """Whether ``table`` names the reserved ``sys.*`` schema."""
+    return table.lower().startswith("sys.")
+
+
+def _reject_system_write(table: str, verb: str) -> None:
+    """DML/DDL against ``sys.*`` is always an error: the views are virtual."""
+    if _is_system_name(table):
+        raise SqlSyntaxError(f"{verb} on {table!r}: sys.* system views are read-only")
 
 
 def _coerce(type_name: str, values: List[Any]) -> np.ndarray:

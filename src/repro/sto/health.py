@@ -49,6 +49,11 @@ class StorageHealthMonitor:
                 )
             )
 
+    @property
+    def unhealthy_count(self) -> int:
+        """Number of tables currently observed unhealthy."""
+        return sum(1 for healthy in self._healthy.values() if not healthy)
+
     def latest(self, table_id: int) -> Optional[TableStats]:
         """Most recent stats observed for a table."""
         return self._latest.get(table_id)

@@ -90,9 +90,18 @@ class SystemTaskOrchestrator:
         finally:
             self._busy = False
 
+    def _observe_health(self, stats) -> None:
+        """Record one stats observation and refresh the health gauge."""
+        self.health.observe(stats, self._context.clock.now)
+        tel = self._context.telemetry
+        if tel.metering:
+            tel.metrics.gauge("sto.unhealthy_tables").set(
+                self.health.unhealthy_count
+            )
+
     def _on_stats(self, event: Event) -> None:
         stats = event.payload["stats"]
-        self.health.observe(stats, self._context.clock.now)
+        self._observe_health(stats)
         if not self.enabled or self._busy:
             return
         trigger = self._context.config.sto.compaction_trigger_fraction
@@ -201,7 +210,7 @@ class SystemTaskOrchestrator:
                 table_id, self._context.sqldb.last_commit_seq
             )
             stats = collect_stats(table_id, snapshot, self._context.config.sto)
-            self.health.observe(stats, self._context.clock.now)
+            self._observe_health(stats)
         return result
 
     def run_checkpoint(self, table_id: int) -> Optional[CheckpointResult]:

@@ -25,6 +25,7 @@ from repro.telemetry.exporters import (
     write_jsonl,
 )
 from repro.telemetry.facade import Telemetry, instances, tracing_instances
+from repro.telemetry.introspection import Introspector, TransactionLedger
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -32,20 +33,38 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     snapshot_delta,
 )
+from repro.telemetry.names import METRIC_NAMES, SPAN_NAMES, SPAN_PREFIXES
 from repro.telemetry.spans import Span, SpanEvent, Tracer
+from repro.telemetry.timeseries import (
+    MetricSample,
+    MetricsSampler,
+    Watchdog,
+    WatchdogRule,
+    default_rules,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Introspector",
+    "METRIC_NAMES",
+    "MetricSample",
     "MetricsRegistry",
+    "MetricsSampler",
+    "SPAN_NAMES",
+    "SPAN_PREFIXES",
     "Span",
     "SpanEvent",
     "Telemetry",
     "TelemetryConfig",
     "Tracer",
+    "TransactionLedger",
+    "Watchdog",
+    "WatchdogRule",
     "chrome_trace",
     "combined_chrome_trace",
+    "default_rules",
     "instances",
     "snapshot_delta",
     "spans_to_jsonl",

@@ -73,6 +73,12 @@ class Telemetry:
         self.metrics = MetricsRegistry(self.config.histogram_max_samples, seed=seed)
         self.tracer = Tracer(clock, max_spans=self.config.max_spans)
         self._bus: Optional[EventBus] = None
+        #: Time-series sampler over :attr:`metrics` (None unless
+        #: ``TelemetryConfig.sample_interval_s`` > 0 — the disabled path
+        #: allocates nothing and arms no clock watcher).
+        self.sampler = None
+        #: Threshold watchdog fed by :attr:`sampler` (None unless enabled).
+        self.watchdog = None
         _INSTANCES.append(weakref.ref(self))
 
     # -- span API (no-ops when tracing is off) -------------------------------

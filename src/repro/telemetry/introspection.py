@@ -1,0 +1,562 @@
+"""Queryable system state: the ``sys.dm_*`` dynamic management views.
+
+The paper's Fabric DW inherits SQL Server's operational model: operators
+diagnose the transaction manager by *querying* system state, not by
+reading logs.  :class:`Introspector` provides that surface — a catalog of
+virtual views over live engine state, resolvable by the SQL runner so
+``SELECT * FROM sys.dm_transactions`` works through any session.
+
+Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
+
+==========================  ==================================================
+``sys.dm_transactions``     FE transaction lifecycle from bus events,
+                            reconciled against the engine's active registry.
+``sys.dm_storage_health``   Per-table GREEN/YELLOW/RED, file quality, live
+                            deletion-vector counts.
+``sys.dm_checkpoints``      The ``Checkpoints`` catalog rows, with names.
+``sys.dm_store_operations`` Per-operation object-store request statistics.
+``sys.dm_recovery_history`` One row per completed recovery pass.
+``sys.dm_metrics``          Every registered instrument as a row.
+``sys.dm_metrics_history``  The sampler's ring buffer, one row per series
+                            per sample.
+==========================  ==================================================
+
+Everything reads *live* state at query time; nothing here mutates the
+engine or opens a user transaction (so querying ``dm_transactions`` never
+shows the query itself).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.statistics import collect_stats
+from repro.pagefile.schema import Schema
+from repro.sqldb import system_tables as syscat
+from repro.telemetry.timeseries import flatten_sample
+
+if TYPE_CHECKING:
+    from repro.common.clock import SimulatedClock
+    from repro.common.events import EventBus
+    from repro.engine.batch import Batch
+    from repro.fe.context import ServiceContext
+    from repro.sto.orchestrator import SystemTaskOrchestrator
+
+#: Live Introspector instances in creation order (weakly held; the
+#: benchmark harness prints ``--report`` summaries from these).
+_INSTANCES: "List[weakref.ref[Introspector]]" = []
+
+
+def instances() -> "List[Introspector]":
+    """All live Introspector instances, oldest first."""
+    out: List["Introspector"] = []
+    for ref in _INSTANCES:
+        instance = ref()
+        if instance is not None:
+            out.append(instance)
+    return out
+
+
+#: Finished-transaction records retained by the ledger (active records
+#: are never evicted).
+FINISHED_HISTORY_CAP = 1024
+
+
+class TransactionLedger:
+    """Accumulates transaction lifecycle facts from bus events.
+
+    The FE publishes ``txn.begin`` / ``txn.committed`` / ``txn.finished``
+    / ``txn.aborted`` (PR 2's SI-sanitizer feed); the ledger folds them
+    into one record per transaction.  A crashed transaction publishes no
+    terminal event — the view layer reconciles such records against the
+    engine's active registry and reports them ``scavenged`` once recovery
+    (or engine scavenging) has resolved them.
+    """
+
+    def __init__(self, bus: "EventBus", clock: "SimulatedClock") -> None:
+        self._clock = clock
+        self._records: Dict[int, Dict[str, Any]] = {}
+        self._recoveries: List[Dict[str, Any]] = []
+        bus.subscribe("txn.begin", self._on_begin)
+        bus.subscribe("txn.committed", self._on_table_commit)
+        bus.subscribe("txn.finished", self._on_finished)
+        bus.subscribe("txn.aborted", self._on_aborted)
+        bus.subscribe("recovery.completed", self._on_recovery)
+
+    # -- event handlers -------------------------------------------------------
+
+    def _record(self, txid: int) -> Dict[str, Any]:
+        record = self._records.get(txid)
+        if record is None:
+            record = self._records[txid] = {
+                "txid": txid,
+                "status": "active",
+                "isolation": "",
+                "begin_seq": 0,
+                "begin_ts": 0.0,
+                "commit_seq": 0,
+                "units": 0,
+                "tables": [],
+                "rows_inserted": 0,
+                "rows_deleted": 0,
+                "reason": "",
+            }
+        return record
+
+    def _on_begin(self, event) -> None:
+        record = self._record(event.payload["txid"])
+        record["isolation"] = event.payload["isolation"]
+        record["begin_seq"] = event.payload["begin_seq"]
+        record["begin_ts"] = event.payload["begin_ts"]
+
+    def _on_table_commit(self, event) -> None:
+        record = self._record(event.payload["txid"])
+        table_id = event.payload["table_id"]
+        if table_id not in record["tables"]:
+            record["tables"].append(table_id)
+        record["rows_inserted"] += event.payload["rows_inserted"]
+        record["rows_deleted"] += event.payload["rows_deleted"]
+
+    def _on_finished(self, event) -> None:
+        record = self._record(event.payload["txid"])
+        record["status"] = "committed"
+        commit_seq = event.payload["commit_seq"]
+        record["commit_seq"] = commit_seq if commit_seq is not None else 0
+        record["units"] = len(event.payload["units"])
+        for table_id in event.payload["tables"]:
+            if table_id not in record["tables"]:
+                record["tables"].append(table_id)
+        self._trim()
+
+    def _on_aborted(self, event) -> None:
+        record = self._record(event.payload["txid"])
+        record["status"] = "aborted"
+        record["reason"] = event.payload["reason"]
+        self._trim()
+
+    def _on_recovery(self, event) -> None:
+        entry = dict(event.payload)
+        entry["recovery_id"] = len(self._recoveries) + 1
+        entry["at"] = self._clock.now
+        self._recoveries.append(entry)
+
+    def _trim(self) -> None:
+        finished = [
+            txid
+            for txid, record in self._records.items()
+            if record["status"] != "active"
+        ]
+        for txid in finished[: max(0, len(finished) - FINISHED_HISTORY_CAP)]:
+            del self._records[txid]
+
+    # -- reading --------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """One record per known transaction, ordered by txid."""
+        return [self._records[txid] for txid in sorted(self._records)]
+
+    def recoveries(self) -> List[Dict[str, Any]]:
+        """One record per completed recovery pass, oldest first."""
+        return list(self._recoveries)
+
+
+class Introspector:
+    """Resolves ``sys.dm_*`` view names into schemas and row batches."""
+
+    #: View name -> (schema, provider method name).  The SQL runner and
+    #: the docs both derive the catalog from this single table.
+    VIEWS: Dict[str, Any] = {
+        "sys.dm_transactions": (
+            Schema.of(
+                ("txid", "int64"),
+                ("status", "string"),
+                ("isolation", "string"),
+                ("begin_seq", "int64"),
+                ("begin_ts", "float64"),
+                ("commit_seq", "int64"),
+                ("units", "int64"),
+                ("tables", "string"),
+                ("rows_inserted", "int64"),
+                ("rows_deleted", "int64"),
+                ("reason", "string"),
+            ),
+            "_dm_transactions",
+        ),
+        "sys.dm_storage_health": (
+            Schema.of(
+                ("table_id", "int64"),
+                ("table_name", "string"),
+                ("state", "string"),
+                ("file_count", "int64"),
+                ("total_rows", "int64"),
+                ("deleted_rows", "int64"),
+                ("low_quality_files", "int64"),
+                ("low_quality_fraction", "float64"),
+                ("dv_count", "int64"),
+                ("pending_compaction", "bool"),
+            ),
+            "_dm_storage_health",
+        ),
+        "sys.dm_checkpoints": (
+            Schema.of(
+                ("table_id", "int64"),
+                ("table_name", "string"),
+                ("sequence_id", "int64"),
+                ("path", "string"),
+                ("created_at", "float64"),
+            ),
+            "_dm_checkpoints",
+        ),
+        "sys.dm_store_operations": (
+            Schema.of(
+                ("operation", "string"),
+                ("requests", "int64"),
+                ("faults", "int64"),
+                ("latency_count", "int64"),
+                ("latency_mean_s", "float64"),
+                ("latency_p50_s", "float64"),
+                ("latency_p95_s", "float64"),
+                ("latency_p99_s", "float64"),
+                ("latency_max_s", "float64"),
+            ),
+            "_dm_store_operations",
+        ),
+        "sys.dm_recovery_history": (
+            Schema.of(
+                ("recovery_id", "int64"),
+                ("at", "float64"),
+                ("in_doubt_committed", "int64"),
+                ("in_doubt_aborted", "int64"),
+                ("staged_blocks_discarded", "int64"),
+                ("publishes_completed", "int64"),
+            ),
+            "_dm_recovery_history",
+        ),
+        "sys.dm_metrics": (
+            Schema.of(
+                ("name", "string"),
+                ("labels", "string"),
+                ("kind", "string"),
+                ("value", "float64"),
+                ("count", "int64"),
+                ("sum", "float64"),
+                ("min", "float64"),
+                ("mean", "float64"),
+                ("max", "float64"),
+                ("p50", "float64"),
+                ("p95", "float64"),
+                ("p99", "float64"),
+            ),
+            "_dm_metrics",
+        ),
+        "sys.dm_metrics_history": (
+            Schema.of(
+                ("sample_id", "int64"),
+                ("at", "float64"),
+                ("metric", "string"),
+                ("value", "float64"),
+            ),
+            "_dm_metrics_history",
+        ),
+    }
+
+    def __init__(self, context: "ServiceContext") -> None:
+        self._context = context
+        self._sto: "Optional[SystemTaskOrchestrator]" = None
+        self.ledger = TransactionLedger(context.bus, context.clock)
+        _INSTANCES.append(weakref.ref(self))
+
+    def bind_sto(self, sto: "SystemTaskOrchestrator") -> None:
+        """Attach the orchestrator (pending compactions feed RED state)."""
+        self._sto = sto
+
+    # -- catalog --------------------------------------------------------------
+
+    @classmethod
+    def view_names(cls) -> List[str]:
+        """Every queryable view name, sorted."""
+        return sorted(cls.VIEWS)
+
+    @classmethod
+    def has_view(cls, name: str) -> bool:
+        """Whether ``name`` (case-insensitive) is a system view."""
+        return name.lower() in cls.VIEWS
+
+    @classmethod
+    def schema(cls, name: str) -> Schema:
+        """The schema of one view; raises ``KeyError`` on unknown names."""
+        return cls.VIEWS[name.lower()][0]
+
+    # -- materialization ------------------------------------------------------
+
+    def rows(self, name: str) -> List[Dict[str, Any]]:
+        """The view's current rows as dicts (live state, read at call time)."""
+        schema, provider = self.VIEWS[name.lower()]
+        del schema
+        return getattr(self, provider)()
+
+    def batch(self, name: str) -> "Batch":
+        """The view's current rows as a columnar batch in schema order."""
+        schema = self.schema(name)
+        rows = self.rows(name)
+        batch: Dict[str, np.ndarray] = {}
+        for field in schema.fields:
+            values = [row[field.name] for row in rows]
+            if values:
+                batch[field.name] = np.array(values, dtype=field.numpy_dtype)
+            else:
+                batch[field.name] = np.empty(0, dtype=field.numpy_dtype)
+        return batch
+
+    # -- providers ------------------------------------------------------------
+
+    def _dm_transactions(self) -> List[Dict[str, Any]]:
+        active_ids = {
+            txn.txid for txn in self._context.sqldb.active_transactions
+        }
+        rows = []
+        for record in self.ledger.records():
+            status = record["status"]
+            if status == "active" and record["txid"] not in active_ids:
+                # The FE never published a terminal event (a simulated
+                # crash skips the abort path); the engine has since
+                # resolved the transaction, so it must not show active.
+                status = "scavenged"
+            row = dict(record)
+            row["status"] = status
+            row["tables"] = ",".join(str(t) for t in record["tables"])
+            rows.append(row)
+        return rows
+
+    def _dm_storage_health(self) -> List[Dict[str, Any]]:
+        context = self._context
+        txn = context.sqldb.begin()
+        try:
+            tables = syscat.list_tables(txn)
+        finally:
+            txn.abort()
+        pending = (
+            self._sto.pending_compactions if self._sto is not None else {}
+        )
+        trigger = context.config.sto.compaction_trigger_fraction
+        rows = []
+        for table in sorted(tables, key=lambda t: t["table_id"]):
+            table_id = table["table_id"]
+            snapshot = context.cache.get(
+                table_id, context.sqldb.last_commit_seq
+            )
+            stats = collect_stats(table_id, snapshot, context.config.sto)
+            pending_compaction = table_id in pending
+            if pending_compaction or (
+                stats.file_count and stats.low_quality_fraction >= trigger
+            ):
+                state = "RED"
+            elif stats.low_quality_files:
+                state = "YELLOW"
+            else:
+                state = "GREEN"
+            rows.append(
+                {
+                    "table_id": table_id,
+                    "table_name": table["name"],
+                    "state": state,
+                    "file_count": stats.file_count,
+                    "total_rows": stats.total_rows,
+                    "deleted_rows": stats.deleted_rows,
+                    "low_quality_files": stats.low_quality_files,
+                    "low_quality_fraction": stats.low_quality_fraction,
+                    "dv_count": len(snapshot.dvs),
+                    "pending_compaction": pending_compaction,
+                }
+            )
+        return rows
+
+    def _dm_checkpoints(self) -> List[Dict[str, Any]]:
+        txn = self._context.sqldb.begin()
+        try:
+            rows = []
+            for table in sorted(
+                syscat.list_tables(txn), key=lambda t: t["table_id"]
+            ):
+                for row in syscat.checkpoints_for_table(
+                    txn, table["table_id"]
+                ):
+                    rows.append(
+                        {
+                            "table_id": table["table_id"],
+                            "table_name": table["name"],
+                            "sequence_id": row["sequence_id"],
+                            "path": row["path"],
+                            "created_at": float(row["created_at"]),
+                        }
+                    )
+            return rows
+        finally:
+            txn.abort()
+
+    def _dm_store_operations(self) -> List[Dict[str, Any]]:
+        per_op: Dict[str, Dict[str, Any]] = {}
+
+        def slot(operation: str) -> Dict[str, Any]:
+            return per_op.setdefault(
+                operation,
+                {
+                    "operation": operation,
+                    "requests": 0,
+                    "faults": 0,
+                    "latency_count": 0,
+                    "latency_mean_s": 0.0,
+                    "latency_p50_s": 0.0,
+                    "latency_p95_s": 0.0,
+                    "latency_p99_s": 0.0,
+                    "latency_max_s": 0.0,
+                },
+            )
+
+        for kind, name, labels, instrument in (
+            self._context.telemetry.metrics.instruments()
+        ):
+            del kind
+            if name == "storage.requests":
+                slot(labels.get("op", "?"))["requests"] = int(instrument.value)
+            elif name == "storage.faults_injected":
+                slot(labels.get("op", "?"))["faults"] = int(instrument.value)
+            elif name == "storage.request_latency_s":
+                row = slot(labels.get("op", "?"))
+                summary = instrument.summary()
+                row["latency_count"] = int(summary["count"])
+                row["latency_mean_s"] = summary["mean"]
+                row["latency_p50_s"] = summary["p50"]
+                row["latency_p95_s"] = summary["p95"]
+                row["latency_p99_s"] = summary["p99"]
+                row["latency_max_s"] = summary["max"]
+        return [per_op[operation] for operation in sorted(per_op)]
+
+    def _dm_recovery_history(self) -> List[Dict[str, Any]]:
+        return [
+            {
+                "recovery_id": entry["recovery_id"],
+                "at": entry["at"],
+                "in_doubt_committed": entry["in_doubt_committed"],
+                "in_doubt_aborted": entry["in_doubt_aborted"],
+                "staged_blocks_discarded": entry["staged_blocks_discarded"],
+                "publishes_completed": entry["publishes_completed"],
+            }
+            for entry in self.ledger.recoveries()
+        ]
+
+    def _dm_metrics(self) -> List[Dict[str, Any]]:
+        rows = []
+        for kind, name, labels, instrument in (
+            self._context.telemetry.metrics.instruments()
+        ):
+            row = {
+                "name": name,
+                "labels": ",".join(f"{k}={v}" for k, v in sorted(labels.items())),
+                "kind": kind,
+                "value": 0.0,
+                "count": 0,
+                "sum": 0.0,
+                "min": 0.0,
+                "mean": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+            }
+            if kind == "histogram":
+                summary = instrument.summary()
+                # ``value`` mirrors ``sum`` so every kind is scannable
+                # through one column.
+                row["value"] = summary["sum"]
+                row["count"] = int(summary["count"])
+                for stat in ("sum", "min", "mean", "max", "p50", "p95", "p99"):
+                    row[stat] = summary[stat]
+            else:
+                row["value"] = instrument.value
+            rows.append(row)
+        return rows
+
+    def _dm_metrics_history(self) -> List[Dict[str, Any]]:
+        sampler = self._context.telemetry.sampler
+        if sampler is None:
+            return []
+        rows = []
+        for sample in sampler.samples:
+            flat = flatten_sample(sample.values)
+            for metric in sorted(flat):
+                rows.append(
+                    {
+                        "sample_id": sample.sample_id,
+                        "at": sample.at,
+                        "metric": metric,
+                        "value": flat[metric],
+                    }
+                )
+        return rows
+
+    # -- end-of-run report ----------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable run totals (the benchmark harness exports these)."""
+        statuses: Dict[str, int] = {}
+        for row in self._dm_transactions():
+            statuses[row["status"]] = statuses.get(row["status"], 0) + 1
+        metrics = self._context.telemetry.metrics
+        return {
+            "simulated_s": self._context.clock.now,
+            "bytes_read": int(metrics.value("storage.bytes_read")),
+            "bytes_written": int(metrics.value("storage.bytes_written")),
+            "txns_committed": statuses.get("committed", 0),
+            "txns_aborted": statuses.get("aborted", 0),
+            "txns_active": statuses.get("active", 0),
+        }
+
+    def report(self) -> str:
+        """A human-readable end-of-run health report built from the DMVs."""
+        lines = [f"=== observability report ({self._context.database}) ==="]
+        statuses: Dict[str, int] = {}
+        for row in self._dm_transactions():
+            statuses[row["status"]] = statuses.get(row["status"], 0) + 1
+        lines.append(
+            "transactions: "
+            + (
+                ", ".join(
+                    f"{count} {status}"
+                    for status, count in sorted(statuses.items())
+                )
+                or "none"
+            )
+        )
+        states: Dict[str, int] = {}
+        for row in self._dm_storage_health():
+            states[row["state"]] = states.get(row["state"], 0) + 1
+        lines.append(
+            "storage health: "
+            + (
+                ", ".join(
+                    f"{count} {state}" for state, count in sorted(states.items())
+                )
+                or "no tables"
+            )
+        )
+        ops = self._dm_store_operations()
+        requests = sum(row["requests"] for row in ops)
+        metrics = self._context.telemetry.metrics
+        lines.append(
+            f"object store: {requests} requests, "
+            f"{int(metrics.value('storage.bytes_read'))} B read, "
+            f"{int(metrics.value('storage.bytes_written'))} B written"
+        )
+        lines.append(f"checkpoints: {len(self._dm_checkpoints())}")
+        lines.append(f"recovery runs: {len(self._dm_recovery_history())}")
+        alerts = sum(
+            instrument.value
+            for kind, name, labels, instrument in metrics.instruments()
+            if name == "watchdog.alerts"
+        )
+        lines.append(f"watchdog alerts: {int(alerts)}")
+        return "\n".join(lines)

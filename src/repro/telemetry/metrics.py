@@ -197,6 +197,21 @@ class MetricsRegistry:
                     out[format_key(key)] = instrument.value
         return out
 
+    def instruments(self):
+        """Yield ``(kind, name, labels, instrument)`` for every instrument.
+
+        ``kind`` is ``"counter"``, ``"gauge"`` or ``"histogram"``; ``labels``
+        is a plain dict.  Ordered by kind then key, so consumers (the
+        ``sys.dm_metrics`` view) are deterministic.
+        """
+        for kind, store in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            for key, instrument in sorted(store.items()):
+                yield kind, key[0], dict(key[1]), instrument
+
     def snapshot(self) -> Dict[str, Any]:
         """Every instrument's current state as one flat JSON-able dict.
 

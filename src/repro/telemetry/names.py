@@ -1,0 +1,99 @@
+"""The canonical telemetry-name registry.
+
+Metric and span names are part of the public observability surface: the
+``sys.dm_metrics`` view, watchdog rules, dashboards and the benchmark
+regression harness all address instruments by name, so a typo at a call
+site silently forks a series.  Every name is therefore declared here
+once, with its meaning, and the ``metric-naming`` lint rule
+(:mod:`repro.analysis.rules`) statically verifies that each
+``counter``/``gauge``/``histogram`` and span call site uses a dotted
+lowercase string literal registered in this module — the same discipline
+:data:`repro.chaos.crashpoints.CRASHPOINTS` enforces for crash sites.
+
+Names are ``segment(.segment)*`` where each segment is a lowercase
+identifier; a single segment (``txn``) is the degenerate dotted form.
+Dynamic suffixes (per-statement-kind spans such as ``sql.select``) are
+covered by a registered prefix in :data:`SPAN_PREFIXES`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+#: ``segment(.segment)*`` — lowercase identifiers joined by dots.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+
+def is_well_formed(name: str) -> bool:
+    """Whether ``name`` is a dotted lowercase telemetry name."""
+    return NAME_RE.match(name) is not None
+
+
+#: Every metric instrument name in the source tree, with its meaning.
+METRIC_NAMES: Dict[str, str] = {
+    "bus.events": "EventBus publishes, labeled by topic.",
+    "chaos.crashes": "SimulatedCrash injections, labeled by site.",
+    "dcp.dag_makespan_s": "Simulated makespan of one executed task DAG.",
+    "dcp.dags": "Task DAGs executed by the scheduler.",
+    "dcp.task_duration_s": "Simulated task runtimes, labeled by pool.",
+    "dcp.task_failures": "Transient task-attempt failures.",
+    "dcp.task_retries": "Task attempts beyond the first.",
+    "dcp.tasks": "Tasks executed, labeled by pool.",
+    "recovery.in_doubt_aborted": "In-doubt transactions aborted by recovery.",
+    "recovery.in_doubt_committed": (
+        "In-doubt transactions resolved committed by recovery."
+    ),
+    "recovery.publishes_completed": "Missed Delta publishes completed.",
+    "recovery.runs": "Recovery passes executed.",
+    "recovery.staged_blocks_discarded": "Staged blocks scavenged on restart.",
+    "sto.checkpoints": "Checkpoints taken.",
+    "sto.compactions": "Compaction runs, labeled by outcome.",
+    "sto.files_rewritten": "Data files rewritten by compactions.",
+    "sto.gc_files_deleted": "Files deleted by garbage collection.",
+    "sto.gc_runs": "Garbage-collection runs.",
+    "sto.manifests_collapsed": "Manifests absorbed into checkpoints.",
+    "sto.publishes": "Manifest publishes to open formats.",
+    "sto.unhealthy_tables": (
+        "Gauge: tables currently below the storage-health thresholds."
+    ),
+    "storage.bytes_read": "Bytes read from the object store.",
+    "storage.bytes_written": "Bytes written to the object store.",
+    "storage.faults_injected": "Injected transient faults, labeled by op.",
+    "storage.request_latency_s": "Per-request simulated latency, by op.",
+    "storage.requests": "Object-store requests, labeled by op.",
+    "storage.retry_attempts": "Failed attempts inside with_retries.",
+    "storage.retry_backoff_s": "Simulated backoff charged between retries.",
+    "storage.retry_outcomes": "Retried operations, by label and outcome.",
+    "storage.sim_latency_s": "Simulated latency charged, by op and mode.",
+    "txn.commit_failures": "Failed commit attempts, labeled by error type.",
+    "txn.commits": "Successful transaction commits.",
+    "txn.rollbacks": "Explicit transaction rollbacks.",
+    "watchdog.alerts": "Watchdog rule firings, labeled by rule.",
+}
+
+#: Every literal span / span-event name used outside dynamic prefixes.
+SPAN_NAMES: Dict[str, str] = {
+    "chaos.crash": "Span event marking an injected crash, with its site.",
+    "dcp.dag": "One scheduled task DAG, start to makespan.",
+    "recovery.run": "One full restart-recovery pass.",
+    "retry": "Span event: one failed attempt inside with_retries.",
+    "retry.exhausted": "Span event: a retried operation ran out of attempts.",
+    "sto.checkpoint": "One checkpoint job.",
+    "sto.compaction": "One compaction job.",
+    "sto.gc": "One garbage-collection job.",
+    "sto.publish": "One open-format publish of a committed manifest.",
+    "sto.trigger.checkpoint": "Span event: checkpoint trigger fired.",
+    "sto.trigger.compaction": "Span event: compaction trigger fired.",
+    "storage.fault": "Span event: an injected transient storage fault.",
+    "txn": "One user transaction, begin to finish.",
+    "txn.commit": "The validation phase of one commit.",
+}
+
+#: Registered literal prefixes for spans whose suffix is dynamic.
+SPAN_PREFIXES: Dict[str, str] = {
+    "event:": "Bus events mirrored into the active span, by topic.",
+    "sql.": "One span per SQL statement, suffixed by statement kind.",
+    "stmt.": "One span per session statement, suffixed by statement name.",
+    "store.": "One span per object-store request, suffixed by operation.",
+}

@@ -42,6 +42,8 @@ class Warehouse:
             separate_pools=separate_pools,
         )
         self.sto = SystemTaskOrchestrator(self.context, enabled=auto_optimize)
+        # The sys.dm_storage_health view reports pending compactions.
+        self.context.introspection.bind_sto(self.sto)
 
     # -- sessions ----------------------------------------------------------------
 

@@ -616,3 +616,131 @@ class TestCrashpointDiscipline:
         source = Path(gc_mod.__file__).read_text(encoding="utf-8")
         findings = run(source, "crashpoint-discipline", relpath="src/repro/sto/gc.py")
         assert findings == []
+
+
+# -- metric-naming -------------------------------------------------------------
+
+
+class TestMetricNaming:
+    def test_clean_registered_metric_literal(self):
+        findings = run(
+            """\
+            def account(tel):
+                tel.metrics.counter("txn.commits").inc()
+                tel.metrics.gauge("sto.unhealthy_tables").set(2)
+                tel.metrics.histogram("storage.request_latency_s").observe(0.1)
+            """,
+            "metric-naming",
+        )
+        assert findings == []
+
+    def test_flags_unregistered_metric(self):
+        findings = run(
+            """\
+            def account(tel):
+                tel.metrics.counter("txn.comits").inc()
+            """,
+            "metric-naming",
+        )
+        assert [f.rule for f in findings] == ["metric-naming"]
+        assert "not registered" in findings[0].message
+
+    def test_flags_non_literal_metric_name(self):
+        findings = run(
+            """\
+            def account(tel, name):
+                tel.metrics.counter(name).inc()
+            """,
+            "metric-naming",
+        )
+        assert "string literal" in findings[0].message
+
+    def test_flags_malformed_metric_name(self):
+        findings = run(
+            """\
+            def account(tel):
+                tel.metrics.counter("Txn-Commits").inc()
+            """,
+            "metric-naming",
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "dotted lowercase" in messages
+
+    def test_metric_half_applies_inside_telemetry(self):
+        findings = run(
+            """\
+            def account(metrics):
+                metrics.counter("made.up").inc()
+            """,
+            "metric-naming",
+            relpath="src/repro/telemetry/extra.py",
+        )
+        assert [f.rule for f in findings] == ["metric-naming"]
+
+    def test_clean_registered_span_and_prefix(self):
+        findings = run(
+            """\
+            def trace(tel, kind):
+                with tel.span("txn.commit", "txn"):
+                    pass
+                with tel.span("sql." + kind, "sql"):
+                    pass
+                tel.add_event("retry", attempt=1)
+            """,
+            "metric-naming",
+        )
+        assert findings == []
+
+    def test_flags_unregistered_span_name(self):
+        findings = run(
+            """\
+            def trace(tel):
+                with tel.span("txn.comit", "txn"):
+                    pass
+            """,
+            "metric-naming",
+        )
+        assert "SPAN_NAMES" in findings[0].message
+
+    def test_flags_unregistered_span_prefix(self):
+        findings = run(
+            """\
+            def trace(tel, kind):
+                with tel.span("mystery." + kind, "sql"):
+                    pass
+            """,
+            "metric-naming",
+        )
+        assert "SPAN_PREFIXES" in findings[0].message
+
+    def test_flags_dynamic_span_name(self):
+        findings = run(
+            """\
+            def trace(tel, label):
+                span = tel.start_span(label, "dcp.task")
+                return span
+            """,
+            "metric-naming",
+        )
+        assert "dynamic" in findings[0].message
+
+    def test_span_half_exempt_inside_telemetry(self):
+        findings = run(
+            """\
+            def forward(tracer, name):
+                return tracer.start_span(name, "x")
+            """,
+            "metric-naming",
+            relpath="src/repro/telemetry/facade2.py",
+        )
+        assert findings == []
+
+    def test_registry_names_are_well_formed(self):
+        from repro.telemetry.names import (
+            METRIC_NAMES,
+            SPAN_NAMES,
+            is_well_formed,
+        )
+
+        for name in list(METRIC_NAMES) + list(SPAN_NAMES):
+            assert is_well_formed(name), name
