@@ -118,13 +118,16 @@ class _ScriptBenchmark:
         return fn(*args, **kwargs)
 
 
-def bench_main(*bench_fns) -> None:
+def bench_main(*bench_fns, report_file: str = "BENCH_observability.json") -> None:
     """Script entry point for a benchmark module.
 
     Runs each ``bench_fn(benchmark)`` with a fake benchmark fixture, then
     honours ``--trace OUT`` (write one combined Chrome trace covering all
     warehouses the run created) and ``--metrics`` (print the registries'
-    snapshots).
+    snapshots).  ``--report`` writes ``report_file``; numeric scalars a
+    benchmark put into ``benchmark.extra_info`` are merged into its
+    totals, so workload-specific measures (goodput, shed counts, p99)
+    land in the same regression-gated JSON.
     """
     parser = argparse.ArgumentParser(description=bench_fns[0].__doc__)
     parser.add_argument(
@@ -143,7 +146,7 @@ def bench_main(*bench_fns) -> None:
         action="store_true",
         help=(
             "print DMV-based health reports and write "
-            "BENCH_observability.json with per-benchmark run totals"
+            f"{report_file} with per-benchmark run totals"
         ),
     )
     args = parser.parse_args()
@@ -171,8 +174,9 @@ def bench_main(*bench_fns) -> None:
         observability = {}
         for fn in bench_fns:
             intro_before = len(introspector_instances())
+            fixture = _ScriptBenchmark()
             started = time.perf_counter()
-            fn(_ScriptBenchmark())
+            fn(fixture)
             wall_s = time.perf_counter() - started
             if args.report:
                 created = introspector_instances()[intro_before:]
@@ -188,17 +192,23 @@ def bench_main(*bench_fns) -> None:
                     for field in _SUMMARY_FIELDS:
                         totals[field] += summary[field]
                 totals["simulated_s"] = round(totals["simulated_s"], 6)
+                for key, value in sorted(fixture.extra_info.items()):
+                    if isinstance(value, bool) or not isinstance(
+                        value, (int, float)
+                    ):
+                        continue
+                    totals[key] = round(value, 6)
                 observability[fn.__name__] = totals
                 for intro in created:
                     print()
                     print(intro.report())
 
         if args.report:
-            with open("BENCH_observability.json", "w", encoding="utf-8") as fh:
+            with open(report_file, "w", encoding="utf-8") as fh:
                 json.dump(observability, fh, indent=2, sort_keys=True)
                 fh.write("\n")
             print(
-                f"\nwrote BENCH_observability.json "
+                f"\nwrote {report_file} "
                 f"({len(observability)} benchmark(s))"
             )
 

@@ -35,6 +35,25 @@ GATED_FIELDS = (
     "txns_aborted",
     "txns_active",
     "warehouses",
+    # Service-gateway load measures (benchmarks/bench_fig12_wp3_concurrency):
+    # absent from benchmarks that don't drive the gateway, and skipped for
+    # those by the not-in-either-row rule below.
+    "submitted",
+    "admitted",
+    "completed",
+    "shed",
+    "timed_out",
+    "elapsed_s",
+    "goodput",
+    "p99_s",
+    "base_completed",
+    "base_goodput",
+    "base_p99_s",
+    "over_completed",
+    "over_shed",
+    "over_timed_out",
+    "over_goodput",
+    "over_p99_s",
 )
 
 #: Fields printed for context but never gated.

@@ -569,7 +569,7 @@ class DocstringCoverageRule(Rule):
 #: model process death inside the commit/write/STO protocols; sprinkling
 #: them elsewhere (tests, analysis, telemetry) would let a chaos sweep
 #: "crash" in places no real process boundary exists.
-CRASHPOINT_DIRS = ("fe", "sqldb", "sto")
+CRASHPOINT_DIRS = ("fe", "sqldb", "sto", "service")
 
 
 @register

@@ -84,6 +84,19 @@ CRASHPOINTS: Dict[str, str] = {
         "GC mid physical-delete scan: some expired/orphan blobs deleted, "
         "the rest not"
     ),
+    # -- Service gateway (repro.service) -----------------------------------
+    "service.admit.after_enqueue": (
+        "request admitted into a class queue, submit result not yet "
+        "returned to the client"
+    ),
+    "service.dispatch.before_execute": (
+        "dispatcher popped a request, session not yet acquired and no "
+        "statement started"
+    ),
+    "service.dispatch.after_execute": (
+        "request's statement finished on the FE, completion not yet "
+        "recorded in the ledger"
+    ),
     # -- STO: publisher (Section 5.4) --------------------------------------
     "sto.publish.before_log_write": (
         "commit durable, Delta log entry not yet written"

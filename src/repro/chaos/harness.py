@@ -67,6 +67,12 @@ SWEEP_HIT_PLAN: Dict[str, int] = {
     "fe.commit.after_sqldb_commit": 5,
     "sqldb.commit.after_validate": 5,
     "sqldb.commit.after_install": 5,
+    # Gateway sites: crash with other requests already admitted so the
+    # scavenge has real mid-queue state to reconcile, and (for the
+    # dispatch sites) with completed requests already in the ledger.
+    "service.admit.after_enqueue": 4,
+    "service.dispatch.before_execute": 3,
+    "service.dispatch.after_execute": 2,
 }
 
 
@@ -385,6 +391,7 @@ class SiteResult:
             else (
                 f"c{rec.in_doubt_committed}/a{rec.in_doubt_aborted}"
                 f"/s{rec.staged_blocks_discarded}/p{rec.publishes_completed}"
+                f"/g{rec.gateway_requests_scavenged}"
             )
         )
         counts = ",".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
@@ -417,8 +424,148 @@ class ChaosSweepResult:
         return [site.summary() for site in self.sites]
 
 
+def run_gateway_site(site: str, seed: int = 0) -> SiteResult:
+    """Crash the gateway at one ``service.*`` site mid-queue and recover.
+
+    A fresh deployment gets a gateway and ten clients (eight trickle
+    inserters of 50 rows each, two analytical readers) spawned as
+    tasklets.  The armed site kills the "process" while requests are
+    queued and/or mid-dispatch; recovery must scavenge every in-flight
+    request (``sys.dm_requests`` shows nothing stuck ``queued`` /
+    ``running``), no *acknowledged-completed* insert may be lost, and the
+    gateway must serve new traffic afterwards.
+    """
+    from repro.service.gateway import Gateway
+
+    config = chaos_config(seed)
+    warehouse = Warehouse(config=config, auto_optimize=False)
+    context = warehouse.context
+    gateway = Gateway(context, seed=seed)
+    recorder = HistoryRecorder().attach(context.bus)
+    setup = warehouse.session()
+    setup.create_table("ingest", WORKLOAD_SCHEMA, distribution_column="id")
+
+    def inserter(index: int):
+        """One trickle client: a staggered arrival, then one insert."""
+        yield 0.05 * (index + 1)
+        gateway.submit(
+            f"tenant_{index % 2}",
+            "transactional",
+            lambda session, start=1000 * index: session.insert(
+                "ingest", _batch(start, 50)
+            ),
+        )
+
+    def reader(index: int):
+        """One analytical client: read the table's live row count."""
+        yield 0.12 * (index + 1)
+        gateway.submit(
+            "tenant_reader",
+            "analytical",
+            lambda session: session.table_snapshot("ingest").live_rows,
+        )
+
+    controller = ChaosController(seed=seed, telemetry=context.telemetry).arm(
+        site, hits=SWEEP_HIT_PLAN.get(site, 1)
+    )
+    crashed = False
+    with controller:
+        for index in range(8):
+            gateway.scheduler.spawn(inserter(index), name=f"chaos-txn-{index}")
+        for index in range(2):
+            gateway.scheduler.spawn(reader(index), name=f"chaos-olap-{index}")
+        try:
+            gateway.run()
+        except SimulatedCrash:
+            crashed = True
+
+    result = SiteResult(
+        site=site, crashed_at_step="gateway" if crashed else "", recovery=None
+    )
+    if not crashed:
+        result.problems.append(
+            f"{site}: armed but never fired — the gateway workload no "
+            "longer reaches this site"
+        )
+        recorder.detach()
+        return result
+
+    completed_inserts = len(
+        [
+            request
+            for request in gateway.requests_with_status("completed")
+            if request.workload_class == "transactional"
+        ]
+    )
+    in_flight = len(gateway.requests_with_status("queued", "running"))
+
+    report = RecoveryManager(context, sto=warehouse.sto, strict=False).recover()
+    result.recovery = report
+    if report.gateway_requests_scavenged != in_flight:
+        result.problems.append(
+            f"scavenge reconciled {report.gateway_requests_scavenged} "
+            f"request(s), ledger had {in_flight} in flight"
+        )
+    stuck = gateway.requests_with_status("queued", "running")
+    if stuck:
+        result.problems.append(
+            f"{len(stuck)} request(s) stuck queued/running after recovery"
+        )
+    post = warehouse.session()
+    view = post.sql("SELECT * FROM sys.dm_requests")
+    for status in view["status"].tolist():
+        if status in ("queued", "running"):
+            result.problems.append(
+                f"sys.dm_requests shows a {status} request after recovery"
+            )
+    sessions = post.sql("SELECT * FROM sys.dm_sessions")
+    for state in sessions["state"].tolist():
+        if state != "closed":
+            result.problems.append(
+                f"sys.dm_sessions shows a {state} session after recovery"
+            )
+
+    counts, integrity_problems = _observed_counts(context)
+    result.problems.extend(integrity_problems)
+    observed = counts.get("ingest", 0)
+    allowed = {50 * completed_inserts, 50 * completed_inserts + 50}
+    if observed not in allowed:
+        result.problems.append(
+            "atomicity violated: ingest has "
+            f"{observed} live rows, allowed {sorted(allowed)} "
+            f"({completed_inserts} insert(s) completed before the crash)"
+        )
+
+    # The gateway must still serve traffic: one post-recovery probe
+    # request through the full admit/dispatch path.
+    probe = gateway.submit(
+        "tenant_probe",
+        "transactional",
+        lambda session: session.insert("ingest", _batch(5000, 50)),
+    )
+    gateway.run()
+    if probe.status != "completed":
+        result.problems.append(
+            f"post-recovery probe request ended {probe.status!r}, "
+            f"expected completed ({probe.error or 'no error'})"
+        )
+    after_counts, after_problems = _observed_counts(context)
+    result.problems.extend(after_problems)
+    if after_counts.get("ingest", 0) != observed + 50:
+        result.problems.append(
+            "post-recovery probe insert shows "
+            f"{after_counts.get('ingest', 0)} rows, expected {observed + 50}"
+        )
+    result.counts = {"ingest": after_counts.get("ingest", 0)}
+    recorder.detach()
+    result.problems.extend(_check_si(recorder))
+    return result
+
+
 def run_site(site: str, seed: int = 0) -> SiteResult:
     """Crash one fresh deployment at ``site``, recover, check invariants."""
+    if site.startswith("service."):
+        return run_gateway_site(site, seed)
     workload = ChaosWorkload(seed)
     warehouse = workload.warehouse
     context = warehouse.context

@@ -26,7 +26,10 @@ Recovery steps, in order:
 5. **Publish completion** — committed manifests newer than the last
    published Delta version are (re)published, after re-deriving the
    publisher's state from the ``_delta_log`` blobs themselves.
-6. **Trigger state** — the orchestrator's pending work is reset.
+6. **Gateway scavenge** — admitted-but-unfinished gateway requests are
+   marked ``scavenged`` and pooled sessions closed (a dead front door
+   cannot complete them; what their statements committed is durable).
+7. **Trigger state** — the orchestrator's pending work is reset.
 """
 
 from __future__ import annotations
@@ -60,6 +63,8 @@ class RecoveryReport:
     orphan_checkpoint_blobs_deleted: List[str] = field(default_factory=list)
     #: Delta publishes completed/replayed for missing sequences.
     publishes_completed: int = 0
+    #: Gateway requests found queued/running and marked ``scavenged``.
+    gateway_requests_scavenged: int = 0
 
     @property
     def clean(self) -> bool:
@@ -72,6 +77,7 @@ class RecoveryReport:
             and not self.checkpoint_rows_dropped
             and not self.orphan_checkpoint_blobs_deleted
             and self.publishes_completed == 0
+            and self.gateway_requests_scavenged == 0
         )
 
 
@@ -104,6 +110,7 @@ class RecoveryManager:
             self._reconcile_catalog(report)
             context.cache.invalidate()
             self._complete_publishes(report)
+            self._scavenge_gateway(report)
             if self._sto is not None:
                 self._sto.rebind(context)
         if tel.metering:
@@ -121,12 +128,16 @@ class RecoveryManager:
             metrics.counter("recovery.publishes_completed").inc(
                 report.publishes_completed
             )
+            metrics.counter("recovery.gateway_requests_scavenged").inc(
+                report.gateway_requests_scavenged
+            )
         context.bus.publish(
             "recovery.completed",
             in_doubt_committed=report.in_doubt_committed,
             in_doubt_aborted=report.in_doubt_aborted,
             staged_blocks_discarded=report.staged_blocks_discarded,
             publishes_completed=report.publishes_completed,
+            gateway_requests_scavenged=report.gateway_requests_scavenged,
         )
         if self.strict and report.missing_manifests:
             raise RecoveryError(
@@ -193,6 +204,21 @@ class RecoveryManager:
             if blob.path not in referenced_checkpoints:
                 store.delete(blob.path)
                 report.orphan_checkpoint_blobs_deleted.append(blob.path)
+
+    def _scavenge_gateway(self, report: RecoveryReport) -> None:
+        """Step 5b: no admitted request may stay queued/running after death.
+
+        The gateway's queues and in-flight dispatch are process state of
+        the dead front door: whatever its FE statements committed before
+        the crash is durable (steps 1–5 already reconciled that), but the
+        requests themselves can never complete.  Mark them ``scavenged``
+        in the ledger and close every pooled session, so
+        ``sys.dm_requests`` reconciles instead of showing phantom
+        in-flight work.
+        """
+        gateway = self._context.gateway
+        if gateway is not None:
+            report.gateway_requests_scavenged = gateway.scavenge()
 
     def _complete_publishes(self, report: RecoveryReport) -> None:
         """Step 5: republish committed sequences the dead publisher missed."""

@@ -118,6 +118,45 @@ class TelemetryConfig:
 
 
 @dataclass
+class ServiceConfig:
+    """Multi-tenant gateway knobs (sessions, admission, load shedding).
+
+    The gateway (:mod:`repro.service`) sits in front of the FE: it pools
+    per-tenant sessions, rate-limits arrivals with per-tenant token
+    buckets, queues admitted requests in bounded per-class priority
+    queues (transactional vs analytical, the paper's WP3 separation),
+    and sheds excess load with a seeded retry-after hint.
+    """
+
+    #: Maximum concurrently open sessions per tenant.
+    max_sessions_per_tenant: int = 8
+    #: Idle sessions older than this are reaped (simulated seconds).
+    session_idle_timeout_s: float = 300.0
+    #: Bounded queue capacity per workload class.
+    queue_capacity: int = 64
+    #: Queued requests older than this are timed out at dispatch.
+    queue_deadline_s: float = 30.0
+    #: Token-bucket refill rate per tenant (tokens per simulated second).
+    tokens_per_s: float = 10.0
+    #: Token-bucket burst capacity per tenant.
+    token_burst: float = 20.0
+    #: Token cost of one transactional request.
+    transactional_token_cost: float = 1.0
+    #: Token cost of one analytical request (scans are heavier).
+    analytical_token_cost: float = 4.0
+    #: Weighted round-robin: transactional dispatches per analytical one.
+    transactional_share: int = 2
+    #: Base retry-after hint returned with shed requests (seconds).
+    retry_after_base_s: float = 1.0
+    #: Jitter fraction applied to retry-after hints (0 = none, 0.5 = ±50%).
+    retry_after_jitter: float = 0.25
+    #: Simulated think time the dispatcher spends between dispatches.
+    dispatch_interval_s: float = 0.001
+    #: Finished request records retained by the gateway ledger.
+    finished_history_cap: int = 2048
+
+
+@dataclass
 class TransactionConfig:
     """Transaction-manager behaviour (Section 4)."""
 
@@ -139,6 +178,7 @@ class PolarisConfig:
     sto: StoConfig = field(default_factory=StoConfig)
     txn: TransactionConfig = field(default_factory=TransactionConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
     #: Target rows per data cell; drives how DML output is split into files.
     rows_per_cell: int = 100_000
     #: Rows per row group inside data files (zone-map granularity).
@@ -181,3 +221,27 @@ class PolarisConfig:
             raise ValueError("storage.retry_base_backoff_s must be >= 0")
         if self.storage.retry_jitter < 0 or self.storage.retry_jitter > 1:
             raise ValueError("storage.retry_jitter must be in [0, 1]")
+        if self.service.max_sessions_per_tenant <= 0:
+            raise ValueError("service.max_sessions_per_tenant must be positive")
+        if self.service.queue_capacity <= 0:
+            raise ValueError("service.queue_capacity must be positive")
+        if self.service.queue_deadline_s <= 0:
+            raise ValueError("service.queue_deadline_s must be positive")
+        if self.service.tokens_per_s <= 0:
+            raise ValueError("service.tokens_per_s must be positive")
+        if self.service.token_burst <= 0:
+            raise ValueError("service.token_burst must be positive")
+        if self.service.transactional_token_cost <= 0:
+            raise ValueError(
+                "service.transactional_token_cost must be positive"
+            )
+        if self.service.analytical_token_cost <= 0:
+            raise ValueError("service.analytical_token_cost must be positive")
+        if self.service.transactional_share < 1:
+            raise ValueError("service.transactional_share must be >= 1")
+        if self.service.retry_after_base_s <= 0:
+            raise ValueError("service.retry_after_base_s must be positive")
+        if not 0.0 <= self.service.retry_after_jitter <= 1.0:
+            raise ValueError("service.retry_after_jitter must be in [0, 1]")
+        if self.service.finished_history_cap <= 0:
+            raise ValueError("service.finished_history_cap must be positive")

@@ -99,6 +99,42 @@ class TopologyError(DcpError):
 
 
 # --------------------------------------------------------------------------
+# Service gateway (repro.service)
+# --------------------------------------------------------------------------
+
+
+class ServiceError(PolarisError):
+    """Base class for multi-tenant gateway errors."""
+
+
+class SessionQuotaError(ServiceError):
+    """A tenant asked for more concurrent sessions than its quota allows."""
+
+
+class RequestSheddedError(ServiceError):
+    """Admission control rejected the request; retry after the hint.
+
+    ``reason`` is ``"rate_limited"`` (token bucket empty) or
+    ``"queue_full"`` (the workload class's bounded queue is at capacity);
+    ``retry_after_s`` is the seeded backoff hint well-behaved clients
+    honor before resubmitting.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"request shed ({reason}); retry after {retry_after_s:.3f}s"
+        )
+        #: Why admission refused the request.
+        self.reason = reason
+        #: Seconds the client should wait before retrying.
+        self.retry_after_s = retry_after_s
+
+
+class RequestTimeoutError(ServiceError):
+    """A queued request exceeded its queue deadline before dispatch."""
+
+
+# --------------------------------------------------------------------------
 # Chaos / crash-recovery (repro.chaos)
 # --------------------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.telemetry.facade import Telemetry
 from repro.telemetry.timeseries import MetricsSampler, Watchdog, default_rules
 
 if TYPE_CHECKING:
+    from repro.service.gateway import Gateway
     from repro.telemetry.introspection import Introspector
 
 
@@ -50,6 +51,10 @@ class ServiceContext:
     #: Resolves ``sys.dm_*`` system-view names (attached after
     #: construction, like the cache — it subscribes to the bus).
     introspection: "Optional[Introspector]" = None
+    #: The multi-tenant gateway fronting this deployment, if one was
+    #: constructed (it attaches itself; ``sys.dm_sessions`` /
+    #: ``sys.dm_requests`` read it and recovery scavenges it).
+    gateway: "Optional[Gateway]" = None
     #: Whether the deployment sizes pools per statement (serverless Fabric
     #: model) or keeps the fixed provisioned size (Synapse SQL DW model) —
     #: the contrast of Figure 8.

@@ -1,0 +1,37 @@
+"""``repro.service`` — the deterministic multi-tenant gateway.
+
+The serving layer the paper's Polaris frontend implies but the earlier
+PRs never built: a front door that pools per-tenant FE sessions, admits
+or sheds arriving requests (token buckets + bounded per-class queues,
+the WP3 transactional/analytical separation), and interleaves hundreds
+of concurrent clients on one simulated clock via cooperative tasklets.
+
+Public surface:
+
+* :class:`Gateway` — submit/run/scavenge; owns the pieces below.
+* :class:`TaskletScheduler` / :class:`Tasklet` — cooperative concurrency.
+* :class:`AdmissionController` / :class:`TokenBucket` — admission policy.
+* :class:`SessionPool` / :class:`GatewaySession` — pooled FE sessions.
+* :class:`Request` — one request's ledger record (``sys.dm_requests``).
+"""
+
+from repro.service.admission import (
+    WORKLOAD_CLASSES,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.service.gateway import Gateway, Request
+from repro.service.sessions import GatewaySession, SessionPool
+from repro.service.tasklets import Tasklet, TaskletScheduler
+
+__all__ = [
+    "AdmissionController",
+    "Gateway",
+    "GatewaySession",
+    "Request",
+    "SessionPool",
+    "Tasklet",
+    "TaskletScheduler",
+    "TokenBucket",
+    "WORKLOAD_CLASSES",
+]

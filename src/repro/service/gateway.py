@@ -1,0 +1,341 @@
+"""The multi-tenant gateway: the deterministic front door to the FE.
+
+A :class:`Gateway` bundles the three serving-layer pieces — the
+cooperative :class:`~repro.service.tasklets.TaskletScheduler`, the
+per-tenant :class:`~repro.service.sessions.SessionPool`, and the
+:class:`~repro.service.admission.AdmissionController` — in front of one
+deployment's FE.  Clients :meth:`submit` work tagged with a tenant and a
+workload class; admitted requests wait in bounded class queues until the
+dispatcher tasklet executes them on a pooled FE session, and shed
+requests surface :class:`~repro.common.errors.RequestSheddedError` with
+a retry-after hint.  Every request's life cycle is recorded in a ledger
+the ``sys.dm_requests`` view reads, and the whole gateway runs on the
+deployment's simulated clock — no wall time, no threads.
+
+Crash behaviour: the three ``service.*`` crashpoints model a gateway
+process death with requests still queued or mid-flight.  After a crash,
+:meth:`Gateway.scavenge` (called by
+:class:`repro.chaos.RecoveryManager`) marks every queued/running request
+``scavenged`` and closes all pooled sessions, so the ledger never shows
+a request stuck ``queued``/``running`` after recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Union
+
+from repro.chaos.crashpoints import crashpoint
+from repro.common.errors import PolarisError, RequestSheddedError
+from repro.service.admission import WORKLOAD_CLASSES, AdmissionController
+from repro.service.sessions import SessionPool
+from repro.service.tasklets import Tasklet, TaskletScheduler
+
+if TYPE_CHECKING:
+    from repro.fe.context import ServiceContext
+    from repro.fe.session import Session
+
+#: Work a client submits: a SQL text, or a callable taking the FE session.
+RequestWork = Union[str, Callable[["Session"], Any]]
+
+#: Dispatcher sleep while both class queues are empty (simulated seconds).
+IDLE_POLL_S = 0.01
+
+
+class Request:
+    """One submitted request's full life-cycle record (``sys.dm_requests``)."""
+
+    def __init__(
+        self,
+        request_id: int,
+        tenant: str,
+        workload_class: str,
+        priority: int,
+        work: RequestWork,
+        submitted_at: float,
+    ) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.workload_class = workload_class
+        self.priority = priority
+        self.work = work
+        self.submitted_at = submitted_at
+        #: ``queued`` | ``running`` | ``completed`` | ``failed`` |
+        #: ``timed_out`` | ``shed`` | ``scavenged``.
+        self.status = "queued"
+        self.session_id = 0
+        self.started_at = 0.0
+        self.finished_at = 0.0
+        self.queue_wait_s = 0.0
+        self.execute_s = 0.0
+        self.retry_after_s = 0.0
+        #: Error class name for ``failed``, shed reason for ``shed``.
+        self.error = ""
+        #: The work's return value once ``completed``.
+        self.result: Any = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the request reached a terminal status."""
+        return self.status not in ("queued", "running")
+
+    def row(self) -> Dict[str, Any]:
+        """The request as one ``sys.dm_requests`` row dict."""
+        return {
+            "request_id": self.request_id,
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "workload_class": self.workload_class,
+            "priority": self.priority,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_wait_s": self.queue_wait_s,
+            "execute_s": self.execute_s,
+            "retry_after_s": self.retry_after_s,
+            "error": self.error,
+        }
+
+
+class Gateway:
+    """Admission, queueing, dispatch, and accounting for one deployment."""
+
+    def __init__(
+        self, context: "ServiceContext", seed: Optional[int] = None
+    ) -> None:
+        self._context = context
+        self._config = context.config.service
+        self._telemetry = context.telemetry
+        if seed is None:
+            seed = context.config.seed
+        #: The cooperative scheduler clients and the dispatcher share.
+        self.scheduler = TaskletScheduler(context.clock, seed=seed)
+        #: Admission control (token buckets + bounded class queues).
+        self.admission = AdmissionController(
+            context.clock, self._config, seed=seed
+        )
+        #: The per-tenant FE session pool.
+        self.pool = SessionPool(context, self._config)
+        self._next_request_id = 1
+        self._requests: Dict[int, Request] = {}
+        self._finished_ids: Deque[int] = deque()
+        self._dispatcher: Optional[Tasklet] = None
+        context.gateway = self
+
+    @property
+    def context(self) -> "ServiceContext":
+        """The deployment this gateway fronts."""
+        return self._context
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        workload_class: str,
+        work: RequestWork,
+        priority: int = 0,
+    ) -> Request:
+        """Submit work for a tenant; queued on success, raises when shed.
+
+        Returns the queued :class:`Request`.  Raises
+        :class:`RequestSheddedError` (carrying the retry-after hint) when
+        the tenant's token bucket is dry or the class queue is full.
+        """
+        if workload_class not in WORKLOAD_CLASSES:
+            raise PolarisError(f"unknown workload class {workload_class!r}")
+        metrics = self._telemetry.metrics
+        metering = self._telemetry.metering
+        if metering:
+            metrics.counter(
+                "service.requests", tenant=tenant, workload_class=workload_class
+            ).inc()
+        request = Request(
+            self._next_request_id,
+            tenant,
+            workload_class,
+            priority,
+            work,
+            self._context.clock.now,
+        )
+        self._next_request_id += 1
+        verdict = self.admission.admit(tenant, workload_class, priority, request)
+        if verdict is not None:
+            reason, retry_after_s = verdict
+            request.retry_after_s = retry_after_s
+            request.error = reason
+            self._record(request)
+            self._finish(request, "shed")
+            if metering:
+                metrics.counter("service.shed", reason=reason).inc()
+                metrics.histogram("service.retry_after_s").observe(retry_after_s)
+            raise RequestSheddedError(reason, retry_after_s)
+        self._record(request)
+        if metering:
+            metrics.counter(
+                "service.admitted", workload_class=workload_class
+            ).inc()
+            metrics.gauge("service.queue_depth").set(self.admission.queue_depth())
+        crashpoint("service.admit.after_enqueue")
+        return request
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run clients + dispatcher until quiescent (or the clock hits ``until``).
+
+        Spawns a dispatcher tasklet if none is live, then drives the
+        shared scheduler; returns the number of tasklet steps executed.
+        The dispatcher exits once both queues are empty and no other
+        tasklet is pending, so a plain ``gateway.run()`` after a batch of
+        :meth:`submit` calls drains exactly that batch.
+        """
+        if self._dispatcher is None or self._dispatcher.done:
+            self._dispatcher = self.scheduler.spawn(
+                self._dispatch_body(), name="dispatcher"
+            )
+        return self.scheduler.run(until)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_body(self):
+        """The dispatcher tasklet: pop, execute, account, repeat."""
+        while True:
+            request, expired = self.admission.next_request()
+            for timed_out in expired:
+                self._finish(timed_out, "timed_out")
+                if self._telemetry.metering:
+                    self._telemetry.metrics.counter(
+                        "service.timeouts",
+                        workload_class=timed_out.workload_class,
+                    ).inc()
+            if self._telemetry.metering:
+                self._telemetry.metrics.gauge("service.queue_depth").set(
+                    self.admission.queue_depth()
+                )
+            if request is None:
+                if self.scheduler.pending == 0:
+                    return None
+                yield IDLE_POLL_S
+                continue
+            self._execute(request)
+            yield self._config.dispatch_interval_s
+
+    def _execute(self, request: Request) -> None:
+        """Run one admitted request on a pooled session and account it."""
+        crashpoint("service.dispatch.before_execute")
+        metrics = self._telemetry.metrics
+        metering = self._telemetry.metering
+        gateway_session = self.pool.acquire(request.tenant)
+        if metering:
+            metrics.gauge("service.sessions_open").set(self.pool.open_count)
+        request.status = "running"
+        request.session_id = gateway_session.session_id
+        request.started_at = self._context.clock.now
+        request.queue_wait_s = request.started_at - request.submitted_at
+        try:
+            with self._telemetry.span(
+                "service.request",
+                "service",
+                tenant=request.tenant,
+                workload_class=request.workload_class,
+                request_id=request.request_id,
+            ):
+                if isinstance(request.work, str):
+                    request.result = gateway_session.session.sql(request.work)
+                else:
+                    request.result = request.work(gateway_session.session)
+            crashpoint("service.dispatch.after_execute")
+        except PolarisError as error:
+            request.error = type(error).__name__
+            self._finish(request, "failed")
+            if metering:
+                metrics.counter(
+                    "service.failures", error=type(error).__name__
+                ).inc()
+        else:
+            self._finish(request, "completed")
+            if metering:
+                metrics.counter(
+                    "service.completions",
+                    workload_class=request.workload_class,
+                ).inc()
+                metrics.histogram(
+                    "service.queue_wait_s",
+                    workload_class=request.workload_class,
+                ).observe(request.queue_wait_s)
+                metrics.histogram(
+                    "service.request_latency_s",
+                    workload_class=request.workload_class,
+                ).observe(request.finished_at - request.submitted_at)
+        finally:
+            self.pool.release(gateway_session)
+            if metering:
+                metrics.gauge("service.sessions_open").set(self.pool.open_count)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, request: Request) -> None:
+        self._requests[request.request_id] = request
+
+    def _finish(self, request: Request, status: str) -> None:
+        request.status = status
+        request.finished_at = self._context.clock.now
+        if request.started_at:
+            request.execute_s = request.finished_at - request.started_at
+        self._finished_ids.append(request.request_id)
+        cap = self._config.finished_history_cap
+        while len(self._finished_ids) > cap:
+            evicted = self._finished_ids.popleft()
+            self._requests.pop(evicted, None)
+
+    def reap_sessions(self) -> int:
+        """Close idle-expired sessions; returns how many were reaped."""
+        reaped = self.pool.reap_idle()
+        if reaped and self._telemetry.metering:
+            metrics = self._telemetry.metrics
+            metrics.counter("service.sessions_reaped").inc(reaped)
+            metrics.gauge("service.sessions_open").set(self.pool.open_count)
+        return reaped
+
+    def scavenge(self) -> int:
+        """Reconcile the ledger after a crash: no request stays in flight.
+
+        Drains the admission queues, marks every ``queued``/``running``
+        request ``scavenged``, and closes all pooled sessions.  Called by
+        :class:`repro.chaos.RecoveryManager` during restart recovery;
+        returns the number of requests scavenged.
+        """
+        self.admission.drain()
+        self.scheduler.clear()
+        scavenged = 0
+        for request in self._requests.values():
+            if not request.finished:
+                self._finish(request, "scavenged")
+                scavenged += 1
+        self.pool.close_all()
+        self._dispatcher = None
+        if self._telemetry.metering:
+            metrics = self._telemetry.metrics
+            metrics.gauge("service.queue_depth").set(0)
+            metrics.gauge("service.sessions_open").set(0)
+        return scavenged
+
+    # -- introspection -----------------------------------------------------
+
+    def session_rows(self) -> List[Dict[str, Any]]:
+        """``sys.dm_sessions`` rows, in session-id order."""
+        return self.pool.rows()
+
+    def request_rows(self) -> List[Dict[str, Any]]:
+        """``sys.dm_requests`` rows, in request-id order."""
+        return [
+            request.row() for __, request in sorted(self._requests.items())
+        ]
+
+    def requests_with_status(self, *statuses: str) -> List[Request]:
+        """Ledger requests currently in any of ``statuses``, id order."""
+        return [
+            request
+            for __, request in sorted(self._requests.items())
+            if request.status in statuses
+        ]

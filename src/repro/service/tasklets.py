@@ -1,0 +1,125 @@
+"""A cooperative tasklet scheduler over the simulated clock.
+
+Hundreds of concurrent gateway clients must interleave deterministically
+without threads or an event loop.  A *tasklet* is a plain generator that
+yields how many simulated seconds it wants to sleep; the scheduler keeps
+a heap of wake times, advances the shared :class:`SimulatedClock` to the
+earliest one, and resumes that tasklet.  Ties on the wake instant are
+broken by a value drawn from a seeded PRNG when the tasklet is pushed, so
+two runs with the same seed interleave byte-identically — and no tasklet
+can starve another by name or insertion order alone.
+
+A tasklet body may itself advance the clock (FE statements charge
+simulated time); :meth:`SimulatedClock.advance_to` is monotonic, so a
+wake instant that has already passed resumes immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+from random import Random
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.common.clock import SimulatedClock
+
+#: The generator protocol tasklets implement: yield sleep seconds.
+TaskletBody = Generator[float, float, Any]
+
+
+class Tasklet:
+    """Handle for one spawned tasklet: name, liveness, and result."""
+
+    def __init__(self, name: str, body: TaskletBody) -> None:
+        self.name = name
+        self._body = body
+        self._started = False
+        #: Whether the generator has run to completion.
+        self.done = False
+        #: The generator's return value once done.
+        self.result: Any = None
+
+    def __repr__(self) -> str:
+        """Concise name/state form for scheduler debugging."""
+        state = "done" if self.done else "runnable"
+        return f"Tasklet({self.name!r}, {state})"
+
+
+class TaskletScheduler:
+    """Runs tasklets cooperatively on one simulated clock.
+
+    The run loop is strictly deterministic: the next tasklet is the one
+    with the smallest ``(wake_at, tiebreak, seq)`` triple, where
+    ``tiebreak`` comes from a PRNG seeded with the scheduler seed and
+    ``seq`` is a monotone push counter that makes the order total.
+    Exceptions raised by a tasklet body (including
+    :class:`~repro.common.errors.SimulatedCrash`) propagate out of
+    :meth:`run` — a crashed process does not keep scheduling.
+    """
+
+    def __init__(self, clock: SimulatedClock, seed: int = 0) -> None:
+        self.clock = clock
+        self._rng = Random(f"tasklets:{seed}")
+        self._heap: List[Tuple[float, float, int, Tasklet]] = []
+        self._seq = 0
+        self.steps = 0
+
+    def spawn(
+        self, body: TaskletBody, name: str = "tasklet", delay_s: float = 0.0
+    ) -> Tasklet:
+        """Register a tasklet to first run ``delay_s`` from now."""
+        tasklet = Tasklet(name, body)
+        self._push(tasklet, self.clock.now + delay_s)
+        return tasklet
+
+    def _push(self, tasklet: Tasklet, wake_at: float) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (wake_at, self._rng.random(), self._seq, tasklet)
+        )
+
+    @property
+    def pending(self) -> int:
+        """How many tasklet resumptions are scheduled."""
+        return len(self._heap)
+
+    def clear(self) -> int:
+        """Drop every pending tasklet (simulated process death).
+
+        Returns how many resumptions were abandoned.  Used by the
+        gateway's crash scavenge: a dead front door's clients do not
+        keep running into the recovered process.
+        """
+        abandoned = len(self._heap)
+        self._heap.clear()
+        return abandoned
+
+    def run(self, until: Optional[float] = None) -> int:
+        """Run tasklets until none remain (or the clock would pass ``until``).
+
+        Returns the number of resumption steps executed.  With ``until``
+        set, tasklets whose wake time lies beyond it stay queued, so a
+        later :meth:`run` call can continue the same population.
+        """
+        executed = 0
+        while self._heap:
+            wake_at = self._heap[0][0]
+            if until is not None and wake_at > until:
+                break
+            __, __, __, tasklet = heapq.heappop(self._heap)
+            self.clock.advance_to(wake_at)
+            try:
+                if tasklet._started:
+                    sleep_s = tasklet._body.send(self.clock.now)
+                else:
+                    tasklet._started = True
+                    sleep_s = next(tasklet._body)
+            except StopIteration as stop:
+                tasklet.done = True
+                tasklet.result = stop.value
+            else:
+                if sleep_s is None or sleep_s < 0:
+                    sleep_s = 0.0
+                self._push(tasklet, self.clock.now + sleep_s)
+            executed += 1
+            self.steps += 1
+        return executed

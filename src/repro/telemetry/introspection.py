@@ -16,6 +16,9 @@ Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
 ``sys.dm_checkpoints``      The ``Checkpoints`` catalog rows, with names.
 ``sys.dm_store_operations`` Per-operation object-store request statistics.
 ``sys.dm_recovery_history`` One row per completed recovery pass.
+``sys.dm_sessions``         The gateway's pooled per-tenant FE sessions.
+``sys.dm_requests``         The gateway's request ledger: queued, running,
+                            and recently finished requests.
 ``sys.dm_metrics``          Every registered instrument as a row.
 ``sys.dm_metrics_history``  The sampler's ring buffer, one row per series
                             per sample.
@@ -235,6 +238,35 @@ class Introspector:
             ),
             "_dm_recovery_history",
         ),
+        "sys.dm_sessions": (
+            Schema.of(
+                ("session_id", "int64"),
+                ("tenant", "string"),
+                ("state", "string"),
+                ("opened_at", "float64"),
+                ("last_active_at", "float64"),
+                ("requests", "int64"),
+            ),
+            "_dm_sessions",
+        ),
+        "sys.dm_requests": (
+            Schema.of(
+                ("request_id", "int64"),
+                ("session_id", "int64"),
+                ("tenant", "string"),
+                ("workload_class", "string"),
+                ("priority", "int64"),
+                ("status", "string"),
+                ("submitted_at", "float64"),
+                ("started_at", "float64"),
+                ("finished_at", "float64"),
+                ("queue_wait_s", "float64"),
+                ("execute_s", "float64"),
+                ("retry_after_s", "float64"),
+                ("error", "string"),
+            ),
+            "_dm_requests",
+        ),
         "sys.dm_metrics": (
             Schema.of(
                 ("name", "string"),
@@ -447,6 +479,18 @@ class Introspector:
             }
             for entry in self.ledger.recoveries()
         ]
+
+    def _dm_sessions(self) -> List[Dict[str, Any]]:
+        gateway = self._context.gateway
+        if gateway is None:
+            return []
+        return gateway.session_rows()
+
+    def _dm_requests(self) -> List[Dict[str, Any]]:
+        gateway = self._context.gateway
+        if gateway is None:
+            return []
+        return gateway.request_rows()
 
     def _dm_metrics(self) -> List[Dict[str, Any]]:
         rows = []

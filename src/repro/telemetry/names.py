@@ -40,6 +40,9 @@ METRIC_NAMES: Dict[str, str] = {
     "dcp.task_failures": "Transient task-attempt failures.",
     "dcp.task_retries": "Task attempts beyond the first.",
     "dcp.tasks": "Tasks executed, labeled by pool.",
+    "recovery.gateway_requests_scavenged": (
+        "Admitted-but-unfinished gateway requests scavenged on restart."
+    ),
     "recovery.in_doubt_aborted": "In-doubt transactions aborted by recovery.",
     "recovery.in_doubt_committed": (
         "In-doubt transactions resolved committed by recovery."
@@ -47,6 +50,20 @@ METRIC_NAMES: Dict[str, str] = {
     "recovery.publishes_completed": "Missed Delta publishes completed.",
     "recovery.runs": "Recovery passes executed.",
     "recovery.staged_blocks_discarded": "Staged blocks scavenged on restart.",
+    "service.admitted": "Requests admitted into a class queue.",
+    "service.completions": "Requests completed, labeled by workload class.",
+    "service.failures": "Requests failed in execution, labeled by error.",
+    "service.queue_depth": "Gauge: requests queued across both classes.",
+    "service.queue_wait_s": "Queue wait of dispatched requests, by class.",
+    "service.request_latency_s": (
+        "Submit-to-completion latency of completed requests, by class."
+    ),
+    "service.requests": "Requests submitted, by tenant and workload class.",
+    "service.retry_after_s": "Retry-after hints handed to shed requests.",
+    "service.sessions_open": "Gauge: pooled FE sessions currently open.",
+    "service.sessions_reaped": "Idle sessions closed by the reaper.",
+    "service.shed": "Requests refused by admission, labeled by reason.",
+    "service.timeouts": "Requests expired past their queue deadline.",
     "sto.checkpoints": "Checkpoints taken.",
     "sto.compactions": "Compaction runs, labeled by outcome.",
     "sto.files_rewritten": "Data files rewritten by compactions.",
@@ -79,6 +96,7 @@ SPAN_NAMES: Dict[str, str] = {
     "recovery.run": "One full restart-recovery pass.",
     "retry": "Span event: one failed attempt inside with_retries.",
     "retry.exhausted": "Span event: a retried operation ran out of attempts.",
+    "service.request": "One gateway request, dispatch to completion.",
     "sto.checkpoint": "One checkpoint job.",
     "sto.compaction": "One compaction job.",
     "sto.gc": "One garbage-collection job.",

@@ -273,6 +273,8 @@ def default_rules(
     abort_rate_per_s: float = 0.5,
     red_table_hold_s: float = 120.0,
     backoff_saturation: float = 0.5,
+    admission_queue_depth: float = 100.0,
+    admission_queue_hold_s: float = 30.0,
 ) -> List[WatchdogRule]:
     """The stock rule set wired in by ``TelemetryConfig.watchdog_enabled``.
 
@@ -282,6 +284,10 @@ def default_rules(
       storage-health thresholds for ``red_table_hold_s``.
     * ``retry_backoff_saturation`` — more than ``backoff_saturation``
       seconds of retry backoff charged per second of simulated time.
+    * ``admission_queue_saturation`` — the gateway's admission queues
+      holding at least ``admission_queue_depth`` requests continuously
+      for ``admission_queue_hold_s`` (load shedding should engage long
+      before the queues pin at capacity).
     """
     return [
         WatchdogRule(
@@ -302,5 +308,12 @@ def default_rules(
             metric="storage.retry_backoff_s",
             threshold=backoff_saturation,
             mode="rate",
+        ),
+        WatchdogRule(
+            name="admission_queue_saturation",
+            metric="service.queue_depth",
+            threshold=admission_queue_depth,
+            mode="value",
+            hold_s=admission_queue_hold_s,
         ),
     ]

@@ -13,7 +13,7 @@ from repro.chaos.crashpoints import active_controller
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
 #: The layers a crashpoint may be instrumented in (mirrors the lint rule).
-INSTRUMENTED_DIRS = ("fe", "sqldb", "sto")
+INSTRUMENTED_DIRS = ("fe", "sqldb", "sto", "service")
 
 
 def all_call_sites():
@@ -47,7 +47,7 @@ class TestRegistry:
         assert len(CRASHPOINTS) >= 12
 
     def test_names_follow_layer_convention(self):
-        pattern = re.compile(r"^(fe|sqldb|sto)\.[a-z_]+\.[a-z_]+$")
+        pattern = re.compile(r"^(fe|sqldb|sto|service)\.[a-z_]+\.[a-z_]+$")
         for name in CRASHPOINTS:
             assert pattern.match(name), name
 
@@ -81,6 +81,8 @@ class TestRegistry:
             "sto.checkpoint",
             "sto.gc",
             "sto.publish",
+            "service.admit",
+            "service.dispatch",
         ):
             assert required in prefixes, required
 

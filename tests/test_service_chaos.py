@@ -1,0 +1,71 @@
+"""Gateway crash recovery: every service.* site, scavenge reconciliation."""
+
+import pytest
+
+from repro import Warehouse
+from repro.chaos.crashpoints import CRASHPOINTS
+from repro.chaos.harness import chaos_config, run_gateway_site, run_site
+from repro.chaos.recovery import RecoveryManager
+from repro.service import Gateway
+
+SERVICE_SITES = sorted(s for s in CRASHPOINTS if s.startswith("service."))
+
+
+def test_all_three_gateway_sites_are_registered():
+    assert set(SERVICE_SITES) == {
+        "service.admit.after_enqueue",
+        "service.dispatch.before_execute",
+        "service.dispatch.after_execute",
+    }
+
+
+@pytest.mark.parametrize("site", SERVICE_SITES)
+def test_crash_mid_queue_recovers_clean(site):
+    result = run_gateway_site(site, seed=0)
+    assert result.crashed_at_step == "gateway", f"{site} never fired"
+    assert result.ok, "\n".join(result.problems)
+    # The crash left real mid-queue state for recovery to reconcile.
+    assert result.recovery.gateway_requests_scavenged >= 1
+    assert result.counts["ingest"] >= 50  # the post-recovery probe landed
+
+
+@pytest.mark.parametrize("site", SERVICE_SITES)
+def test_run_site_routes_service_sites_to_the_gateway_harness(site):
+    summary = run_site(site, seed=0).summary()
+    assert summary == run_gateway_site(site, seed=0).summary()
+    assert f"/g" in summary
+
+
+def test_gateway_site_summary_is_deterministic():
+    site = "service.dispatch.before_execute"
+    assert run_gateway_site(site, seed=3).summary() == run_gateway_site(
+        site, seed=3
+    ).summary()
+
+
+def test_recovery_scavenges_queued_requests_without_a_crash():
+    """Direct scavenge: requests admitted but never dispatched reconcile."""
+    dw = Warehouse(config=chaos_config(0), auto_optimize=False)
+    gateway = Gateway(dw.context)
+    queued = [
+        gateway.submit("tenant_a", "transactional", lambda s: None)
+        for __ in range(3)
+    ]
+    report = RecoveryManager(dw.context, sto=dw.sto, strict=False).recover()
+    assert report.gateway_requests_scavenged == 3
+    assert [r.status for r in queued] == ["scavenged"] * 3
+    assert not gateway.requests_with_status("queued", "running")
+    rows = dw.session().sql("SELECT status FROM sys.dm_requests")
+    assert list(rows["status"]) == ["scavenged"] * 3
+    # The gateway serves again after recovery with a fresh dispatcher.
+    probe = gateway.submit("tenant_a", "transactional", lambda s: 42)
+    gateway.run()
+    assert probe.status == "completed"
+    assert probe.result == 42
+
+
+def test_recovery_without_gateway_reports_zero():
+    dw = Warehouse(config=chaos_config(0), auto_optimize=False)
+    report = RecoveryManager(dw.context, sto=dw.sto, strict=False).recover()
+    assert report.gateway_requests_scavenged == 0
+    assert report.clean
