@@ -490,12 +490,10 @@ def run_gateway_site(site: str, seed: int = 0) -> SiteResult:
         recorder.detach()
         return result
 
-    completed_inserts = len(
-        [
-            request
-            for request in gateway.requests_with_status("completed")
-            if request.workload_class == "transactional"
-        ]
+    # Monotonic totals, not a ledger scan: the ledger evicts finished
+    # records past finished_history_cap, which would undercount the oracle.
+    completed_inserts = gateway.finished_count(
+        "completed", workload_class="transactional"
     )
     in_flight = len(gateway.requests_with_status("queued", "running"))
 

@@ -131,7 +131,14 @@ class RequestSheddedError(ServiceError):
 
 
 class RequestTimeoutError(ServiceError):
-    """A queued request exceeded its queue deadline before dispatch."""
+    """A queued request exceeded its queue deadline before dispatch.
+
+    The gateway records it on the timed-out :class:`~repro.service.gateway.Request`
+    (``error = "RequestTimeoutError"``) and
+    :meth:`~repro.service.gateway.Request.outcome` raises it, giving
+    clients an exception-based signal alongside the ``timed_out`` ledger
+    status.
+    """
 
 
 # --------------------------------------------------------------------------

@@ -23,10 +23,25 @@ a request stuck ``queued``/``running`` after recovery.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.chaos.crashpoints import crashpoint
-from repro.common.errors import PolarisError, RequestSheddedError
+from repro.common.errors import (
+    PolarisError,
+    RequestSheddedError,
+    RequestTimeoutError,
+    ServiceError,
+)
 from repro.service.admission import WORKLOAD_CLASSES, AdmissionController
 from repro.service.sessions import SessionPool
 from repro.service.tasklets import Tasklet, TaskletScheduler
@@ -69,8 +84,12 @@ class Request:
         self.queue_wait_s = 0.0
         self.execute_s = 0.0
         self.retry_after_s = 0.0
-        #: Error class name for ``failed``, shed reason for ``shed``.
+        #: Error class name for ``failed`` / ``timed_out``, shed reason
+        #: for ``shed``.
         self.error = ""
+        #: The terminal exception (``failed`` / ``timed_out`` / ``shed`` /
+        #: ``scavenged``); :meth:`outcome` raises it.
+        self.exception: Optional[PolarisError] = None
         #: The work's return value once ``completed``.
         self.result: Any = None
 
@@ -78,6 +97,26 @@ class Request:
     def finished(self) -> bool:
         """Whether the request reached a terminal status."""
         return self.status not in ("queued", "running")
+
+    def outcome(self) -> Any:
+        """The work's result, or the terminal error as an exception.
+
+        Returns :attr:`result` once ``completed``.  Raises the recorded
+        terminal exception otherwise — :class:`RequestTimeoutError` for a
+        queue-deadline expiry, :class:`RequestSheddedError` for a shed
+        request, the original :class:`PolarisError` for a ``failed`` one,
+        and :class:`ServiceError` for ``scavenged``.  A request still
+        ``queued``/``running`` raises :class:`ServiceError`: drive
+        :meth:`Gateway.run` first.
+        """
+        if self.status == "completed":
+            return self.result
+        if self.exception is not None:
+            raise self.exception
+        raise ServiceError(
+            f"request {self.request_id} is still {self.status!r}; "
+            "run the gateway to a terminal status first"
+        )
 
     def row(self) -> Dict[str, Any]:
         """The request as one ``sys.dm_requests`` row dict."""
@@ -120,6 +159,10 @@ class Gateway:
         self._next_request_id = 1
         self._requests: Dict[int, Request] = {}
         self._finished_ids: Deque[int] = deque()
+        #: Monotonic terminal totals keyed by ``(status, workload_class)``
+        #: — unlike the ledger these never evict, so accounting stays
+        #: exact past ``finished_history_cap``.
+        self._finished_totals: Dict[Tuple[str, str], int] = {}
         self._dispatcher: Optional[Tasklet] = None
         context.gateway = self
 
@@ -165,12 +208,13 @@ class Gateway:
             reason, retry_after_s = verdict
             request.retry_after_s = retry_after_s
             request.error = reason
+            request.exception = RequestSheddedError(reason, retry_after_s)
             self._record(request)
             self._finish(request, "shed")
             if metering:
                 metrics.counter("service.shed", reason=reason).inc()
                 metrics.histogram("service.retry_after_s").observe(retry_after_s)
-            raise RequestSheddedError(reason, retry_after_s)
+            raise request.exception
         self._record(request)
         if metering:
             metrics.counter(
@@ -225,7 +269,19 @@ class Gateway:
         crashpoint("service.dispatch.before_execute")
         metrics = self._telemetry.metrics
         metering = self._telemetry.metering
-        gateway_session = self.pool.acquire(request.tenant)
+        try:
+            gateway_session = self.pool.acquire(request.tenant)
+        except PolarisError as error:
+            # An acquisition failure (e.g. SessionQuotaError) fails the
+            # request, never the dispatcher.
+            request.error = type(error).__name__
+            request.exception = error
+            self._finish(request, "failed")
+            if metering:
+                metrics.counter(
+                    "service.failures", error=type(error).__name__
+                ).inc()
+            return
         if metering:
             metrics.gauge("service.sessions_open").set(self.pool.open_count)
         request.status = "running"
@@ -247,6 +303,7 @@ class Gateway:
             crashpoint("service.dispatch.after_execute")
         except PolarisError as error:
             request.error = type(error).__name__
+            request.exception = error
             self._finish(request, "failed")
             if metering:
                 metrics.counter(
@@ -282,6 +339,19 @@ class Gateway:
         request.finished_at = self._context.clock.now
         if request.started_at:
             request.execute_s = request.finished_at - request.started_at
+        if status == "timed_out" and request.exception is None:
+            request.error = "RequestTimeoutError"
+            request.exception = RequestTimeoutError(
+                f"request {request.request_id} waited past the "
+                f"{self._config.queue_deadline_s:g}s queue deadline"
+            )
+        elif status == "scavenged" and request.exception is None:
+            request.exception = ServiceError(
+                f"request {request.request_id} was scavenged after a "
+                "gateway crash"
+            )
+        key = (status, request.workload_class)
+        self._finished_totals[key] = self._finished_totals.get(key, 0) + 1
         self._finished_ids.append(request.request_id)
         cap = self._config.finished_history_cap
         while len(self._finished_ids) > cap:
@@ -308,7 +378,11 @@ class Gateway:
         self.admission.drain()
         self.scheduler.clear()
         scavenged = 0
-        for request in self._requests.values():
+        # Snapshot the ledger: _finish evicts old finished entries from
+        # _requests once the history cap is reached, so iterating the live
+        # dict here would die with "dictionary changed size during
+        # iteration" exactly when recovery matters most.
+        for request in list(self._requests.values()):
             if not request.finished:
                 self._finish(request, "scavenged")
                 scavenged += 1
@@ -333,9 +407,31 @@ class Gateway:
         ]
 
     def requests_with_status(self, *statuses: str) -> List[Request]:
-        """Ledger requests currently in any of ``statuses``, id order."""
+        """Ledger requests currently in any of ``statuses``, id order.
+
+        The ledger evicts finished records past ``finished_history_cap``,
+        so for *totals* over terminal statuses use :meth:`finished_count`;
+        this method is for inspecting the retained records themselves.
+        """
         return [
             request
             for __, request in sorted(self._requests.items())
             if request.status in statuses
         ]
+
+    def finished_count(
+        self, *statuses: str, workload_class: Optional[str] = None
+    ) -> int:
+        """Lifetime total of requests finished in any of ``statuses``.
+
+        Counted monotonically at finish time, so the answer stays exact
+        after the ledger evicts old records past ``finished_history_cap``
+        (and after a scavenge).  Optionally restricted to one workload
+        class.
+        """
+        return sum(
+            count
+            for (status, cls), count in self._finished_totals.items()
+            if status in statuses
+            and (workload_class is None or cls == workload_class)
+        )

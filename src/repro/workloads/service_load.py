@@ -41,7 +41,9 @@ class LoadReport:
         self.retries = 0
         #: Requests abandoned after exhausting the retry cap.
         self.abandoned = 0
-        #: Terminal ledger statuses (filled from the gateway at the end).
+        #: Terminal totals from the gateway's monotonic counters
+        #: (:meth:`~repro.service.gateway.Gateway.finished_count`), so they
+        #: stay exact past ``finished_history_cap`` ledger eviction.
         self.completed = 0
         self.failed = 0
         self.timed_out = 0
@@ -199,25 +201,34 @@ class ServiceLoadGenerator:
         """Setup, spawn all clients, drive the gateway to quiescence."""
         self.setup()
         started = self.gateway.context.clock.now
+        # Snapshot the gateway's monotonic totals so the report covers
+        # exactly this run, even on a gateway that served earlier traffic.
+        terminal = ("completed", "failed", "timed_out")
+        before = {
+            status: self.gateway.finished_count(status) for status in terminal
+        }
         self.spawn_clients()
         self.gateway.run()
         report = self.report
         report.elapsed_s = self.gateway.context.clock.now - started
-        for request in self.gateway.requests_with_status(
-            "completed", "failed", "timed_out"
-        ):
-            if request.status == "completed":
-                report.completed += 1
-            elif request.status == "failed":
-                report.failed += 1
-            else:
-                report.timed_out += 1
+        report.completed = (
+            self.gateway.finished_count("completed") - before["completed"]
+        )
+        report.failed = self.gateway.finished_count("failed") - before["failed"]
+        report.timed_out = (
+            self.gateway.finished_count("timed_out") - before["timed_out"]
+        )
         if report.elapsed_s > 0:
             report.goodput = report.completed / report.elapsed_s
         return report
 
     def admitted_latencies(self) -> List[float]:
-        """End-to-end latencies of completed requests, sorted ascending."""
+        """End-to-end latencies of completed requests, sorted ascending.
+
+        Sampled from the gateway ledger, so at most the newest
+        ``finished_history_cap`` completions contribute — a bounded-memory
+        tail sample, unlike the exact totals in :class:`LoadReport`.
+        """
         latencies = [
             request.finished_at - request.submitted_at
             for request in self.gateway.requests_with_status("completed")

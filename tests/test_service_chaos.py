@@ -64,6 +64,36 @@ def test_recovery_scavenges_queued_requests_without_a_crash():
     assert probe.result == 42
 
 
+def test_recovery_scavenges_with_finished_ledger_at_cap():
+    """Regression: recovery after a long-lived gateway filled its ledger.
+
+    With ``finished_history_cap`` already reached, the first scavenged
+    request evicts an old finished record; iterating the live request
+    dict used to raise ``RuntimeError: dictionary changed size during
+    iteration`` and abort recovery mid-pass.
+    """
+    config = chaos_config(0)
+    config.service.finished_history_cap = 2
+    dw = Warehouse(config=config, auto_optimize=False)
+    gateway = Gateway(dw.context)
+    for __ in range(3):
+        gateway.submit("tenant_a", "transactional", lambda s: None)
+    gateway.run()  # three completions fill the two-record ledger
+    queued = [
+        gateway.submit("tenant_a", "transactional", lambda s: None)
+        for __ in range(3)
+    ]
+    report = RecoveryManager(dw.context, sto=dw.sto, strict=False).recover()
+    assert report.gateway_requests_scavenged == 3
+    assert [r.status for r in queued] == ["scavenged"] * 3
+    assert not gateway.requests_with_status("queued", "running")
+    assert gateway.finished_count("scavenged") == 3
+    # The view reflects only retained records, none of them in flight.
+    rows = dw.session().sql("SELECT status FROM sys.dm_requests")
+    assert len(rows["status"]) == 2
+    assert all(s not in ("queued", "running") for s in rows["status"])
+
+
 def test_recovery_without_gateway_reports_zero():
     dw = Warehouse(config=chaos_config(0), auto_optimize=False)
     report = RecoveryManager(dw.context, sto=dw.sto, strict=False).recover()

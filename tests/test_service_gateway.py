@@ -5,7 +5,13 @@ import pytest
 
 from repro import PolarisConfig, Schema, Warehouse
 from repro.common.clock import SimulatedClock
-from repro.common.errors import RequestSheddedError, SessionQuotaError
+from repro.common.errors import (
+    PolarisError,
+    RequestSheddedError,
+    RequestTimeoutError,
+    ServiceError,
+    SessionQuotaError,
+)
 from repro.service import AdmissionController, Gateway, TokenBucket
 from repro.service.sessions import SessionPool
 from repro.service.tasklets import TaskletScheduler
@@ -253,10 +259,89 @@ class TestGateway:
         dw, gateway, __ = gateway_warehouse(queue_deadline_s=5.0)
         stale = gateway.submit("tenant_a", "transactional", lambda s: None)
         dw.clock.advance(6.0)
-        fresh = gateway.submit("tenant_a", "transactional", lambda s: None)
+        fresh = gateway.submit("tenant_a", "transactional", lambda s: 7)
         gateway.run()
         assert stale.status == "timed_out"
+        assert stale.error == "RequestTimeoutError"
+        with pytest.raises(RequestTimeoutError, match="queue deadline"):
+            stale.outcome()
         assert fresh.status == "completed"
+        assert fresh.outcome() == 7
+
+    def test_outcome_surfaces_terminal_errors(self):
+        __, gateway, __ = gateway_warehouse()
+        bad = gateway.submit(
+            "tenant_a", "analytical", "SELECT id FROM does_not_exist"
+        )
+        # Still queued: outcome() refuses rather than returning None.
+        with pytest.raises(ServiceError, match="still 'queued'"):
+            bad.outcome()
+        gateway.run()
+        assert bad.status == "failed"
+        with pytest.raises(PolarisError) as exc:
+            bad.outcome()
+        assert type(exc.value).__name__ == bad.error
+
+    def test_shed_request_outcome_reraises_the_shed_error(self):
+        __, gateway, __ = gateway_warehouse(tokens_per_s=0.1, token_burst=1.0)
+        gateway.submit("tenant_a", "transactional", lambda s: None)
+        with pytest.raises(RequestSheddedError):
+            gateway.submit("tenant_a", "transactional", lambda s: None)
+        shed = gateway.requests_with_status("shed")[0]
+        with pytest.raises(RequestSheddedError) as exc:
+            shed.outcome()
+        assert exc.value.retry_after_s == shed.retry_after_s
+
+    def test_session_acquire_failure_fails_request_not_dispatcher(self):
+        __, gateway, __ = gateway_warehouse(max_sessions_per_tenant=1)
+        # Hold tenant_a's only session busy outside the dispatcher, so the
+        # dispatcher's acquire raises SessionQuotaError mid-dispatch.
+        held = gateway.pool.acquire("tenant_a")
+        starved = gateway.submit("tenant_a", "transactional", lambda s: None)
+        other = gateway.submit("tenant_b", "transactional", lambda s: 1)
+        gateway.run()
+        assert starved.status == "failed"
+        assert starved.error == "SessionQuotaError"
+        with pytest.raises(SessionQuotaError):
+            starved.outcome()
+        assert other.status == "completed"  # the dispatcher survived
+        gateway.pool.release(held)
+
+    def test_finished_totals_survive_ledger_eviction(self):
+        __, gateway, __ = gateway_warehouse(finished_history_cap=2)
+        requests = [
+            gateway.submit("tenant_a", "transactional", lambda s: None)
+            for __ in range(5)
+        ]
+        gateway.run()
+        assert all(r.status == "completed" for r in requests)
+        assert len(gateway.request_rows()) == 2  # ledger keeps only the cap
+        assert gateway.finished_count("completed") == 5  # totals never evict
+        assert (
+            gateway.finished_count(
+                "completed", workload_class="transactional"
+            )
+            == 5
+        )
+        assert (
+            gateway.finished_count("completed", workload_class="analytical")
+            == 0
+        )
+
+    def test_scavenge_with_finished_ledger_at_cap(self):
+        """Regression: scavenging must survive its own ledger evictions."""
+        __, gateway, __ = gateway_warehouse(finished_history_cap=2)
+        for __ in range(3):
+            gateway.submit("tenant_a", "transactional", lambda s: None)
+        gateway.run()  # the finished ledger is now at its cap
+        queued = [
+            gateway.submit("tenant_a", "transactional", lambda s: None)
+            for __ in range(3)
+        ]
+        assert gateway.scavenge() == 3
+        assert [r.status for r in queued] == ["scavenged"] * 3
+        assert not gateway.requests_with_status("queued", "running")
+        assert gateway.finished_count("scavenged") == 3
 
     def test_sessions_reused_and_reaped(self):
         dw, gateway, __ = gateway_warehouse(session_idle_timeout_s=50.0)

@@ -74,6 +74,23 @@ class TestLoadGenerator:
         shed_rows = gateway.requests_with_status("shed")
         assert shed_rows and all(r.retry_after_s > 0 for r in shed_rows)
 
+    def test_accounting_survives_ledger_eviction(self):
+        """Totals stay exact when terminal requests outnumber the ledger cap."""
+        __, gateway, __, report = run_load(
+            service={"finished_history_cap": 3},
+            transactional_clients=3,
+            analytical_clients=1,
+            requests_per_client=3,
+        )
+        terminal = report.completed + report.failed + report.timed_out
+        assert report.admitted == terminal
+        assert terminal > 3  # more finishers than the ledger retains
+        assert len(gateway.request_rows()) <= 3
+        assert gateway.finished_count("completed") == report.completed
+        assert report.goodput == pytest.approx(
+            report.completed / report.elapsed_s
+        )
+
     def test_latencies_come_from_completed_requests_only(self):
         __, __, generator, report = run_load()
         latencies = generator.admitted_latencies()
