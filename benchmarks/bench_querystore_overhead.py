@@ -1,0 +1,136 @@
+"""Query-store overhead — TPC-H power run with the store off vs on.
+
+The query store profiles *every* statement (per-operator rows, simulated
+time, pruning counts, cardinality estimates), so its cost must be
+negligible: the profiled execution path charges the simulated clock
+exactly like the plain path (same distributed scans, same root CPU
+cost).  This benchmark runs the SQL TPC-H power run (the six queries the
+dialect expresses, same corpus as ``bench_fig09``'s plan twins) on two
+fresh warehouses — ``telemetry.query_store_enabled`` off and on — and
+gates the simulated-time overhead at <= 5%.
+
+Also asserts the store's end state: one ``sys.dm_exec_query_stats`` row
+per distinct fingerprint with the full execution count.
+"""
+
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from repro.sql.runner import SqlSession
+from repro.workloads.tpch import TPCH_SQL_QUERIES, TpchGenerator
+from repro.workloads.tpch.schema import TPCH_DISTRIBUTION, TPCH_SCHEMAS
+
+from benchmarks.support import fresh_warehouse, print_series, run_once
+
+SCALE = 0.2
+
+#: Maximum tolerated simulated-time overhead of the profiled path.
+OVERHEAD_LIMIT = 0.05
+
+#: Power runs per configuration (every run re-executes all six queries,
+#: so fingerprints accumulate executions for percentile stability).
+RUNS = 3
+
+
+def setup_warehouse(query_store: bool):
+    """A TPC-H-loaded warehouse with the query store off or on."""
+    dw = fresh_warehouse(
+        elastic=True,
+        separate_pools=True,
+        auto_optimize=False,
+        telemetry__query_store_enabled=query_store,
+    )
+    session = dw.session()
+    generator = TpchGenerator(scale_factor=SCALE, seed=42)
+    for name, batch in generator.all_tables().items():
+        session.create_table(name, TPCH_SCHEMAS[name], TPCH_DISTRIBUTION[name])
+        session.insert(name, batch)
+    return dw
+
+
+def power_runs(dw):
+    """RUNS SQL power runs; returns {query: simulated seconds} of the last."""
+    sql = SqlSession(dw.session())
+    times = {}
+    for _ in range(RUNS):
+        for number, text in sorted(TPCH_SQL_QUERIES.items()):
+            start = dw.clock.now
+            sql.execute(text)
+            times[number] = dw.clock.now - start
+    return times
+
+
+def test_querystore_overhead(benchmark):
+    state = {}
+
+    def workload():
+        plain = setup_warehouse(query_store=False)
+        state["plain_setup_end"] = plain.clock.now
+        state["plain_times"] = power_runs(plain)
+        state["plain_total"] = plain.clock.now - state["plain_setup_end"]
+
+        profiled = setup_warehouse(query_store=True)
+        state["profiled_setup_end"] = profiled.clock.now
+        state["profiled_times"] = power_runs(profiled)
+        state["profiled_total"] = (
+            profiled.clock.now - state["profiled_setup_end"]
+        )
+        state["store"] = profiled.telemetry.querystore
+        return state
+
+    run_once(benchmark, workload)
+
+    plain, profiled = state["plain_times"], state["profiled_times"]
+    rows = [
+        (
+            f"Q{q:02d}",
+            f"{plain[q]:.3f}",
+            f"{profiled[q]:.3f}",
+            f"{profiled[q] / plain[q]:.3f}x",
+        )
+        for q in sorted(plain)
+    ]
+    print_series(
+        "Query-store overhead: TPC-H SQL power run, store off vs on",
+        ["query", "off_s", "on_s", "ratio"],
+        rows,
+    )
+
+    overhead = state["profiled_total"] / state["plain_total"] - 1.0
+    print(
+        f"\npower-run simulated time: off={state['plain_total']:.3f}s "
+        f"on={state['profiled_total']:.3f}s overhead={overhead:+.2%}"
+    )
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"query store added {overhead:.2%} simulated time "
+        f"(limit {OVERHEAD_LIMIT:.0%}) — the profiled path must charge "
+        "the clock like the plain path"
+    )
+
+    # One profile per distinct fingerprint, each with every execution.
+    store = state["store"]
+    select_profiles = [
+        p for p in store.profiles() if p.statement_kind == "select"
+    ]
+    assert len(select_profiles) == len(TPCH_SQL_QUERIES)
+    for profile in select_profiles:
+        assert profile.executions == RUNS
+
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 6)
+    benchmark.extra_info["fingerprints"] = len(select_profiles)
+    benchmark.extra_info["power_off_s"] = round(state["plain_total"], 6)
+    benchmark.extra_info["power_on_s"] = round(state["profiled_total"], 6)
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(test_querystore_overhead, report_file="BENCH_querystore.json")

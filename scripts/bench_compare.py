@@ -15,7 +15,10 @@ CI wall time is far too noisy to gate on.
 
 A benchmark present in the baseline but missing from the current run (or
 vice versa) is also a failure: silently dropping a benchmark is how
-regressions hide.
+regressions hide.  The same goes for a gated metric key present on only
+one side — it fails with an actionable message instead of comparing
+against a silent default — and a missing or unreadable report file exits
+with status 2 and a regeneration hint instead of a traceback.
 """
 
 from __future__ import annotations
@@ -88,6 +91,23 @@ def compare(
         for field in GATED_FIELDS:
             if field not in base_row and field not in cur_row:
                 continue
+            # Present on one side only: the benchmark changed what it
+            # reports — fail loudly instead of comparing against a
+            # silent default.
+            if field not in base_row:
+                print(
+                    f"  FAIL {field}: missing from baseline (regenerate "
+                    "the baseline to pick up the new field)"
+                )
+                failures += 1
+                continue
+            if field not in cur_row:
+                print(
+                    f"  FAIL {field}: missing from current run (the "
+                    "benchmark stopped reporting it)"
+                )
+                failures += 1
+                continue
             base_value = base_row.get(field, 0)
             cur_value = cur_row.get(field, 0)
             change = relative_change(base_value, cur_value)
@@ -109,6 +129,34 @@ def compare(
     return failures
 
 
+def _load_report(path: str, role: str):
+    """Load one report JSON, or print an actionable error and return None."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"error: {role} file {path!r} does not exist.\n"
+            "Regenerate it with, e.g.:\n"
+            "  python benchmarks/bench_fig09_tpch_queries.py --report\n"
+            "then pass the written BENCH_*.json path."
+        )
+        return None
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {role} file {path!r} is not valid JSON ({error}).\n"
+            "Re-run the benchmark with --report to rewrite it."
+        )
+        return None
+    if not isinstance(report, dict):
+        print(
+            f"error: {role} file {path!r} must map benchmark name -> "
+            "totals (as written by the harness's --report flag)."
+        )
+        return None
+    return report
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -121,10 +169,12 @@ def main(argv=None) -> int:
         help="maximum relative change per gated field (default 0.2 = 20%%)",
     )
     args = parser.parse_args(argv)
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)
-    with open(args.current, encoding="utf-8") as fh:
-        current = json.load(fh)
+    baseline = _load_report(args.baseline, role="baseline")
+    if baseline is None:
+        return 2
+    current = _load_report(args.current, role="current")
+    if current is None:
+        return 2
     failures = compare(baseline, current, args.threshold)
     if failures:
         print(f"\n{failures} field(s) regressed beyond {args.threshold:.0%}")

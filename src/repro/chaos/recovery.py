@@ -29,7 +29,10 @@ Recovery steps, in order:
 6. **Gateway scavenge** — admitted-but-unfinished gateway requests are
    marked ``scavenged`` and pooled sessions closed (a dead front door
    cannot complete them; what their statements committed is durable).
-7. **Trigger state** — the orchestrator's pending work is reset.
+7. **Query-store scavenge** — in-flight query-store executions are
+   discarded (a crashed statement never reported; a half-measured
+   profile must not reach the aggregates).
+8. **Trigger state** — the orchestrator's pending work is reset.
 """
 
 from __future__ import annotations
@@ -65,6 +68,9 @@ class RecoveryReport:
     publishes_completed: int = 0
     #: Gateway requests found queued/running and marked ``scavenged``.
     gateway_requests_scavenged: int = 0
+    #: In-flight query-store executions discarded (started by the dead
+    #: process, never finished — they must not reach the aggregates).
+    querystore_profiles_discarded: int = 0
 
     @property
     def clean(self) -> bool:
@@ -78,6 +84,7 @@ class RecoveryReport:
             and not self.orphan_checkpoint_blobs_deleted
             and self.publishes_completed == 0
             and self.gateway_requests_scavenged == 0
+            and self.querystore_profiles_discarded == 0
         )
 
 
@@ -111,6 +118,7 @@ class RecoveryManager:
             context.cache.invalidate()
             self._complete_publishes(report)
             self._scavenge_gateway(report)
+            self._scavenge_querystore(report)
             if self._sto is not None:
                 self._sto.rebind(context)
         if tel.metering:
@@ -131,6 +139,9 @@ class RecoveryManager:
             metrics.counter("recovery.gateway_requests_scavenged").inc(
                 report.gateway_requests_scavenged
             )
+            metrics.counter("recovery.querystore_discarded").inc(
+                report.querystore_profiles_discarded
+            )
         context.bus.publish(
             "recovery.completed",
             in_doubt_committed=report.in_doubt_committed,
@@ -138,6 +149,7 @@ class RecoveryManager:
             staged_blocks_discarded=report.staged_blocks_discarded,
             publishes_completed=report.publishes_completed,
             gateway_requests_scavenged=report.gateway_requests_scavenged,
+            querystore_profiles_discarded=report.querystore_profiles_discarded,
         )
         if self.strict and report.missing_manifests:
             raise RecoveryError(
@@ -219,6 +231,19 @@ class RecoveryManager:
         gateway = self._context.gateway
         if gateway is not None:
             report.gateway_requests_scavenged = gateway.scavenge()
+
+    def _scavenge_querystore(self, report: RecoveryReport) -> None:
+        """Step 5c: discard query-store executions the dead process left
+        in flight.
+
+        A statement that crashed mid-execution never reported its latency
+        or rows; folding a half-measured record would corrupt the
+        per-fingerprint aggregates, so the pending records are dropped —
+        discarded, never double-counted.
+        """
+        store = self._context.telemetry.querystore
+        if store is not None:
+            report.querystore_profiles_discarded = store.scavenge()
 
     def _complete_publishes(self, report: RecoveryReport) -> None:
         """Step 5: republish committed sequences the dead publisher missed."""

@@ -115,6 +115,19 @@ class TelemetryConfig:
     #: Evaluate the default watchdog rules over the sampled series
     #: (requires ``sample_interval_s`` > 0).
     watchdog_enabled: bool = False
+    #: Enable the query store: fingerprinted per-statement profiles with
+    #: per-operator cardinality feedback, surfaced as sys.dm_exec_* views.
+    #: Off (the default) means no store is constructed and the SQL runner
+    #: pays a single attribute check per statement.
+    query_store_enabled: bool = False
+    #: Sliding window of recent latencies per fingerprint; the regression
+    #: detector compares its p95 against the stored baseline.
+    query_store_recent_window: int = 16
+    #: Executions before a fingerprint's baseline p95 is frozen; no
+    #: regression can fire earlier.
+    query_store_min_history: int = 8
+    #: A fingerprint regresses when recent p95 >= factor * baseline p95.
+    query_store_regression_factor: float = 2.0
 
 
 @dataclass
@@ -211,6 +224,14 @@ class PolarisConfig:
         if self.telemetry.watchdog_enabled and self.telemetry.sample_interval_s <= 0:
             raise ValueError(
                 "telemetry.watchdog_enabled requires sample_interval_s > 0"
+            )
+        if self.telemetry.query_store_recent_window <= 0:
+            raise ValueError("telemetry.query_store_recent_window must be positive")
+        if self.telemetry.query_store_min_history < 2:
+            raise ValueError("telemetry.query_store_min_history must be >= 2")
+        if self.telemetry.query_store_regression_factor <= 1.0:
+            raise ValueError(
+                "telemetry.query_store_regression_factor must be > 1"
             )
         for op, rate in self.storage.operation_failure_rates.items():
             if not 0.0 <= rate <= 1.0:

@@ -13,8 +13,9 @@ batch, the annotated text, and the per-operator stats.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import PlanError
 from repro.engine import operators
@@ -105,10 +106,172 @@ class AnalyzeResult:
     text: str
     #: Per-operator stats keyed by ``id(plan_node)``.
     stats: Dict[int, OperatorStats]
+    #: Planner-estimated output rows keyed by ``id(plan_node)`` (empty
+    #: when the caller supplied no estimates).
+    estimates: Dict[int, int] = field(default_factory=dict)
 
     def stats_for(self, node: Plan) -> OperatorStats:
         """The stats recorded for one plan node."""
         return self.stats[id(node)]
+
+
+@dataclass
+class PlanProfile:
+    """Lightweight per-run profile: stats without the rendered text.
+
+    What the query store captures on *every* execution — the same
+    measurements as :class:`AnalyzeResult` minus the annotated plan
+    rendering, which is the expensive, human-facing half.
+    """
+
+    batch: Batch
+    #: Per-operator stats keyed by ``id(plan_node)``.
+    stats: Dict[int, OperatorStats]
+    #: Planner-estimated output rows keyed by ``id(plan_node)``.
+    estimates: Dict[int, int] = field(default_factory=dict)
+
+
+def misestimate_ratio(est_rows: float, actual_rows: float) -> float:
+    """Symmetric cardinality-misestimate factor, always >= 1.
+
+    Both sides are floored at one row so empty results and zero
+    estimates stay finite: 1.0 means exact to within a row, 10.0 means
+    an order of magnitude off in either direction.
+    """
+    est = max(float(est_rows), 1.0)
+    actual = max(float(actual_rows), 1.0)
+    return max(actual / est, est / actual)
+
+
+#: Fraction of input rows assumed to survive a predicate (the classic
+#: System R default for an inequality).
+PREDICATE_SELECTIVITY = 1.0 / 3.0
+
+#: Fraction of a scan's rows assumed to survive zone-map pruning.
+PRUNE_SELECTIVITY = 0.5
+
+
+def estimate_cardinalities(
+    plan: Plan, scan_rows: Dict[int, float]
+) -> Dict[int, int]:
+    """First-order estimated output rows per operator, keyed by id(node).
+
+    ``scan_rows`` maps ``id(scan_node)`` to the table's live row count
+    (file rows minus deletion-vector cardinalities), the only statistic
+    the catalog maintains today.  Textbook defaults cover the rest:
+    predicates keep 1/3 of rows, pruning keeps 1/2, joins carry the
+    larger input, grouped aggregates emit ``sqrt(input)`` groups.  The
+    point is not precision — it is producing an estimate the query store
+    can compare against actuals, turning misestimates into recorded
+    feedback.
+    """
+    estimates: Dict[int, int] = {}
+
+    def walk(node: Plan) -> float:
+        if isinstance(node, TableScan):
+            value = float(scan_rows.get(id(node), 0.0))
+            if node.prune:
+                value *= PRUNE_SELECTIVITY
+            if node.predicate is not None:
+                value *= PREDICATE_SELECTIVITY
+        elif isinstance(node, Filter):
+            value = walk(node.child) * PREDICATE_SELECTIVITY
+        elif isinstance(node, Project):
+            value = walk(node.child)
+        elif isinstance(node, Join):
+            value = max(walk(node.left), walk(node.right))
+        elif isinstance(node, Aggregate):
+            child = walk(node.child)
+            value = math.ceil(math.sqrt(child)) if node.group_keys else 1.0
+        elif isinstance(node, Sort):
+            value = walk(node.child)
+        elif isinstance(node, Limit):
+            value = min(walk(node.child), float(node.count))
+        else:
+            raise PlanError(f"unknown plan node {node!r}")
+        # A nonzero fractional estimate means "some rows", never zero.
+        estimates[id(node)] = int(round(value)) if value >= 1.0 else (
+            1 if value > 0 else 0
+        )
+        return value
+
+    walk(plan)
+    return estimates
+
+
+def operator_labels(plan: Plan) -> List[Tuple[int, Plan, str]]:
+    """Preorder ``(operator_id, node, label)`` triples for a plan.
+
+    The preorder index is the stable ``operator_id`` the query store
+    keys per-operator aggregates on — same plan shape, same ids.
+    """
+    labeled: List[Tuple[int, Plan, str]] = []
+    for index, node in enumerate(_preorder(plan)):
+        if isinstance(node, TableScan):
+            label = f"Scan {node.table}"
+        elif isinstance(node, Filter):
+            label = "Filter"
+        elif isinstance(node, Project):
+            label = "Project"
+        elif isinstance(node, Join):
+            label = f"HashJoin[{node.how}]"
+        elif isinstance(node, Aggregate):
+            label = "Aggregate"
+        elif isinstance(node, Sort):
+            label = "Sort"
+        elif isinstance(node, Limit):
+            label = "Limit"
+        else:
+            raise PlanError(f"unknown plan node {node!r}")
+        labeled.append((index, node, label))
+    return labeled
+
+
+def operator_summaries(
+    plan: Plan,
+    stats: Dict[int, OperatorStats],
+    estimates: Optional[Dict[int, int]] = None,
+) -> List[Dict[str, Any]]:
+    """Flat per-operator records (est vs actual rows, time, pruning).
+
+    The cardinality-feedback rows the query store folds per fingerprint
+    and serves back through ``sys.dm_exec_operator_stats``.
+    """
+    estimates = estimates or {}
+    records: List[Dict[str, Any]] = []
+    for operator_id, node, label in operator_labels(plan):
+        node_stats = stats.get(id(node))
+        details = node_stats.details if node_stats is not None else {}
+        records.append(
+            {
+                "operator_id": operator_id,
+                "operator": label,
+                "est_rows": estimates.get(id(node), 0),
+                "actual_rows": node_stats.rows if node_stats is not None else 0,
+                "sim_time_s": (
+                    node_stats.sim_time_s if node_stats is not None else None
+                ),
+                "files": details.get("files", 0),
+                "files_pruned": details.get("files_pruned", 0),
+                "row_groups": details.get("row_groups", 0),
+                "row_groups_pruned": details.get("row_groups_pruned", 0),
+            }
+        )
+    return records
+
+
+def _preorder(plan: Plan) -> Iterator[Plan]:
+    yield plan
+    if isinstance(plan, TableScan):
+        return
+    if isinstance(plan, Join):
+        yield from _preorder(plan.left)
+        yield from _preorder(plan.right)
+        return
+    if isinstance(plan, (Filter, Project, Aggregate, Sort, Limit)):
+        yield from _preorder(plan.child)
+        return
+    raise PlanError(f"unknown plan node {plan!r}")
 
 
 def explain_analyze(
@@ -118,6 +281,7 @@ def explain_analyze(
     clock=None,
     cost_model=None,
     scan_details: Optional[Dict[int, Dict[str, Any]]] = None,
+    estimates: Optional[Dict[int, int]] = None,
 ) -> AnalyzeResult:
     """Execute ``plan`` and annotate each operator with observed stats.
 
@@ -127,14 +291,48 @@ def explain_analyze(
     it (the FE read path), else from ``clock`` deltas around the scan
     call.  Root-side operators are costed with ``cost_model`` over their
     input rows — the same first-order model the FE charges the clock with.
+    ``estimates`` (from :func:`estimate_cardinalities`) adds an
+    ``est=``/``ratio=`` column per operator so cardinality misestimates
+    are visible interactively.
     """
     stats: Dict[int, OperatorStats] = {}
     batch = _run_analyzed(
         plan, scan_source, stats, clock, cost_model, scan_details or {}
     )
+    estimates = estimates or {}
     lines: List[str] = []
-    _walk(plan, 0, lines, annotate=lambda node: _annotation(stats.get(id(node))))
-    return AnalyzeResult(batch=batch, text="\n".join(lines), stats=stats)
+    _walk(
+        plan,
+        0,
+        lines,
+        annotate=lambda node: _annotation(
+            stats.get(id(node)), estimates.get(id(node))
+        ),
+    )
+    return AnalyzeResult(
+        batch=batch, text="\n".join(lines), stats=stats, estimates=estimates
+    )
+
+
+def run_with_stats(
+    plan: Plan,
+    scan_source: Callable[[TableScan], Batch],
+    *,
+    clock=None,
+    cost_model=None,
+    scan_details: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> Tuple[Batch, Dict[int, OperatorStats]]:
+    """Execute ``plan`` collecting per-operator stats, skipping the text.
+
+    The measurement half of :func:`explain_analyze` — what the query
+    store runs on every statement; rendering the annotated tree is left
+    to the interactive path that wants it.
+    """
+    stats: Dict[int, OperatorStats] = {}
+    batch = _run_analyzed(
+        plan, scan_source, stats, clock, cost_model, scan_details or {}
+    )
+    return batch, stats
 
 
 def _run_analyzed(
@@ -199,10 +397,15 @@ def _run_analyzed(
     return result
 
 
-def _annotation(node_stats: Optional[OperatorStats]) -> str:
+def _annotation(
+    node_stats: Optional[OperatorStats], est_rows: Optional[int] = None
+) -> str:
     if node_stats is None:
         return ""
     parts = [f"rows={node_stats.rows}"]
+    if est_rows is not None:
+        parts.append(f"est={est_rows}")
+        parts.append(f"ratio={misestimate_ratio(est_rows, node_stats.rows):.2f}x")
     if node_stats.sim_time_s is not None:
         parts.append(f"time={node_stats.sim_time_s:.3f}s")
     details = node_stats.details

@@ -114,6 +114,16 @@ class ServiceContext:
         from repro.telemetry.introspection import Introspector
 
         context.introspection = Introspector(context)
+        if config.telemetry.query_store_enabled:
+            from repro.telemetry.querystore import QueryStore
+
+            telemetry.querystore = QueryStore(
+                clock,
+                config.telemetry,
+                metrics=telemetry.metrics if telemetry.metering else None,
+                bus=bus,
+                seed=config.seed,
+            )
         if telemetry.metering and config.telemetry.sample_interval_s > 0:
             sampler = MetricsSampler(
                 clock,

@@ -20,7 +20,13 @@ from repro.dcp.dag import WorkflowDag
 from repro.dcp.tasks import Task, TaskContext
 from repro.engine.batch import Batch, concat_batches, empty_batch, num_rows
 from repro.engine.executor import execute_plan
-from repro.engine.explain import AnalyzeResult, explain_analyze
+from repro.engine.explain import (
+    AnalyzeResult,
+    PlanProfile,
+    estimate_cardinalities,
+    explain_analyze,
+    run_with_stats,
+)
 from repro.engine.operators import filter_batch
 from repro.engine.planner import Plan, TableScan, scans_of
 from repro.engine.statistics import collect_stats
@@ -66,6 +72,12 @@ def scan_table(
         report["files_pruned"] = len(full_snapshot.files) - len(snapshot.files)
         report["row_groups"] = 0
         report["row_groups_pruned"] = 0
+        # The planner's base-cardinality statistic: live rows in the
+        # unpruned snapshot (file rows minus deletion-vector rows).
+        live = sum(info.num_rows for info in full_snapshot.files.values()) - sum(
+            dv.cardinality for dv in full_snapshot.dvs.values()
+        )
+        report["est_rows"] = max(int(live), 0)
     cells = [
         cell
         for cell in cells_for_snapshot(table_id, snapshot, context.config.distributions)
@@ -200,12 +212,74 @@ def execute_query_analyzed(
         scan_details[id(scan)] = report
         scan_rows += num_rows(batch)
 
+    estimates = estimate_cardinalities(
+        plan,
+        {
+            scan_id: float(report.get("est_rows", 0))
+            for scan_id, report in scan_details.items()
+        },
+    )
     result = explain_analyze(
-        plan, source, cost_model=context.cost_model, scan_details=scan_details
+        plan,
+        source,
+        cost_model=context.cost_model,
+        scan_details=scan_details,
+        estimates=estimates,
     )
     root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
     context.clock.advance(root_cost)
     return result
+
+
+def execute_query_profiled(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    plan: Plan,
+    as_of: "float | None" = None,
+) -> PlanProfile:
+    """Run ``plan`` collecting per-operator stats without rendering text.
+
+    The query-store execution path: identical clock charges to
+    :func:`execute_query` (distributed scans, root CPU cost), plus the
+    same pruning reports and operator stats as
+    :func:`execute_query_analyzed` minus the annotated-tree rendering —
+    cheap enough to run on every statement.
+    """
+    scanned: Dict[int, Batch] = {}
+    scan_details: Dict[int, Dict[str, Any]] = {}
+    scan_rows = 0
+
+    def source(scan: TableScan) -> Batch:
+        return scanned[id(scan)]
+
+    for scan in scans_of(plan):
+        override = None
+        if as_of is not None:
+            table_row = describe_table(txn.root, scan.table)
+            override = snapshot_as_of(context, table_row["table_id"], as_of)
+        started = context.clock.now
+        report: Dict[str, Any] = {}
+        batch = scan_table(
+            context, txn, scan, snapshot_override=override, report=report
+        )
+        report["sim_time_s"] = context.clock.now - started
+        scanned[id(scan)] = batch
+        scan_details[id(scan)] = report
+        scan_rows += num_rows(batch)
+
+    estimates = estimate_cardinalities(
+        plan,
+        {
+            scan_id: float(report.get("est_rows", 0))
+            for scan_id, report in scan_details.items()
+        },
+    )
+    batch, stats = run_with_stats(
+        plan, source, cost_model=context.cost_model, scan_details=scan_details
+    )
+    root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
+    context.clock.advance(root_cost)
+    return PlanProfile(batch=batch, stats=stats, estimates=estimates)
 
 
 def _prune_snapshot(snapshot: TableSnapshot, prune) -> TableSnapshot:

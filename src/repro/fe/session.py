@@ -189,6 +189,23 @@ class Session:
             name="query",
         )
 
+    def query_profiled(
+        self, plan: Plan, as_of: Optional[float] = None
+    ) -> "read_path.PlanProfile":
+        """Execute a query plan collecting per-operator stats.
+
+        Identical clock charges and span shape to :meth:`query` — the
+        query store routes SELECTs through here so every execution yields
+        cardinality feedback (est vs actual rows per operator) without
+        rendering EXPLAIN ANALYZE text.
+        """
+        return self._run(
+            lambda txn: read_path.execute_query_profiled(
+                self._context, txn, plan, as_of=as_of
+            ),
+            name="query",
+        )
+
     def explain_analyze(
         self, plan: Plan, as_of: Optional[float] = None
     ) -> "read_path.AnalyzeResult":

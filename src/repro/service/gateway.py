@@ -288,6 +288,11 @@ class Gateway:
         request.session_id = gateway_session.session_id
         request.started_at = self._context.clock.now
         request.queue_wait_s = request.started_at - request.submitted_at
+        querystore = self._telemetry.querystore
+        if querystore is not None:
+            # Statements executed by this request fold into the query
+            # store attributed to the request's tenant/workload class.
+            querystore.push_attribution(request.tenant, request.workload_class)
         try:
             with self._telemetry.span(
                 "service.request",
@@ -325,6 +330,8 @@ class Gateway:
                     workload_class=request.workload_class,
                 ).observe(request.finished_at - request.submitted_at)
         finally:
+            if querystore is not None:
+                querystore.pop_attribution()
             self.pool.release(gateway_session)
             if metering:
                 metrics.gauge("service.sessions_open").set(self.pool.open_count)

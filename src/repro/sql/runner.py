@@ -7,9 +7,13 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.engine.batch import Batch
+from repro.engine.batch import Batch, num_rows
 from repro.engine.executor import dict_scan_source, execute_plan
-from repro.engine.explain import AnalyzeResult, explain as explain_plan
+from repro.engine.explain import (
+    AnalyzeResult,
+    explain as explain_plan,
+    operator_summaries,
+)
 from repro.engine.expressions import Lit
 from repro.fe.catalog import describe_table, table_schema
 from repro.fe.session import Session
@@ -51,19 +55,42 @@ class SqlSession:
         """
         match = self._EXPLAIN_RE.match(text)
         if match:
+            # EXPLAIN is a diagnostic, not a workload statement: it never
+            # enters the query store.
             return self._explain(text[match.end():], analyze=bool(match.group(1)))
         statement = parse(text)
         tel = self.session._context.telemetry
-        if not tel.tracing:
-            return self._dispatch(statement)
+        store = tel.querystore
         kind = type(statement).__name__.replace("Statement", "").lower()
-        clipped = text.strip()[: tel.config.sql_text_limit]
-        with tel.span("sql." + kind, "sql", sql=clipped):
-            return self._dispatch(statement)
+        pending = store.start(text, kind) if store is not None else None
+        try:
+            if not tel.tracing:
+                result = self._dispatch(statement, pending)
+            else:
+                clipped = text.strip()[: tel.config.sql_text_limit]
+                with tel.span("sql." + kind, "sql", sql=clipped):
+                    result = self._dispatch(statement, pending)
+        except Exception as error:
+            # SimulatedCrash is a BaseException: a dead process reports
+            # nothing, so its pending record stays in flight until
+            # recovery scavenges it.
+            if pending is not None:
+                store.finish(pending, error=error)
+            raise
+        if pending is not None:
+            # CREATE TABLE returns a table id, BEGIN/COMMIT return None —
+            # only row-producing statements feed the rows aggregate.
+            rows = (
+                _result_rows(result)
+                if kind in ("select", "insert", "delete", "update")
+                else 0
+            )
+            store.finish(pending, rows=rows)
+        return result
 
-    def _dispatch(self, statement):
+    def _dispatch(self, statement, pending=None):
         if isinstance(statement, SelectStatement):
-            return self._select(statement)
+            return self._select(statement, pending)
         if isinstance(statement, InsertStatement):
             return self._insert(statement)
         if isinstance(statement, DeleteStatement):
@@ -109,11 +136,18 @@ class SqlSession:
         finally:
             txn.abort()
 
-    def _select(self, stmt: SelectStatement) -> Batch:
+    def _select(self, stmt: SelectStatement, pending=None) -> Batch:
         tables = [stmt.table] + [j.table for j in stmt.joins]
         if any(_is_system_name(t) for t in tables):
-            return self._select_system(stmt, tables)
+            return self._select_system(stmt, tables, pending)
         plan = Binder(self._schemas_for(tables)).bind_select(stmt)
+        if pending is not None:
+            profile = self.session.query_profiled(plan)
+            pending.record_plan(
+                explain_plan(plan),
+                operator_summaries(plan, profile.stats, profile.estimates),
+            )
+            return profile.batch
         return self.session.query(plan)
 
     # -- system views ---------------------------------------------------------
@@ -132,7 +166,9 @@ class SqlSession:
             )
         return introspector
 
-    def _select_system(self, stmt: SelectStatement, tables: List[str]) -> Batch:
+    def _select_system(
+        self, stmt: SelectStatement, tables: List[str], pending=None
+    ) -> Batch:
         """SELECT over ``sys.dm_*`` views: bind against the view schemas and
         execute over batches materialized from live engine state — no user
         transaction is opened, so the query never observes itself."""
@@ -149,6 +185,10 @@ class SqlSession:
             schemas[table] = introspector.schema(table)
             batches[table] = introspector.batch(table)
         plan = Binder(schemas).bind_select(stmt)
+        if pending is not None:
+            # System views are served from memory — no operator profile,
+            # but the plan shape is still worth a dm_exec_query_plans row.
+            pending.record_plan(explain_plan(plan), [])
         return execute_plan(plan, dict_scan_source(batches))
 
     def _insert(self, stmt: InsertStatement) -> int:
@@ -226,6 +266,15 @@ class SqlSession:
 def execute(session: Session, text: str):
     """One-shot convenience: ``execute(session, "SELECT ...")``."""
     return SqlSession(session).execute(text)
+
+
+def _result_rows(result) -> int:
+    """Rows produced by one statement, whatever shape its result takes."""
+    if isinstance(result, dict):
+        return num_rows(result)
+    if isinstance(result, (int, np.integer)):
+        return int(result)
+    return 0
 
 
 def _is_system_name(table: str) -> bool:

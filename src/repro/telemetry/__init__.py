@@ -34,6 +34,13 @@ from repro.telemetry.metrics import (
     snapshot_delta,
 )
 from repro.telemetry.names import METRIC_NAMES, SPAN_NAMES, SPAN_PREFIXES
+from repro.telemetry.querystore import (
+    QueryProfile,
+    QueryStore,
+    fingerprint,
+    normalize_sql,
+    plan_fingerprint,
+)
 from repro.telemetry.spans import Span, SpanEvent, Tracer
 from repro.telemetry.timeseries import (
     MetricSample,
@@ -52,6 +59,8 @@ __all__ = [
     "MetricSample",
     "MetricsRegistry",
     "MetricsSampler",
+    "QueryProfile",
+    "QueryStore",
     "SPAN_NAMES",
     "SPAN_PREFIXES",
     "Span",
@@ -65,7 +74,10 @@ __all__ = [
     "chrome_trace",
     "combined_chrome_trace",
     "default_rules",
+    "fingerprint",
     "instances",
+    "normalize_sql",
+    "plan_fingerprint",
     "snapshot_delta",
     "spans_to_jsonl",
     "tracing_instances",

@@ -79,6 +79,10 @@ class Telemetry:
         self.sampler = None
         #: Threshold watchdog fed by :attr:`sampler` (None unless enabled).
         self.watchdog = None
+        #: Query store folding per-fingerprint execution profiles (None
+        #: unless ``TelemetryConfig.query_store_enabled`` — the disabled
+        #: path costs the SQL runner one attribute check per statement).
+        self.querystore = None
         _INSTANCES.append(weakref.ref(self))
 
     # -- span API (no-ops when tracing is off) -------------------------------

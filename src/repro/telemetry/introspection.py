@@ -22,6 +22,12 @@ Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
 ``sys.dm_metrics``          Every registered instrument as a row.
 ``sys.dm_metrics_history``  The sampler's ring buffer, one row per series
                             per sample.
+``sys.dm_exec_query_stats`` Query-store aggregates, one row per statement
+                            fingerprint (executions, latency percentiles).
+``sys.dm_exec_query_plans`` Distinct plans per fingerprint with literal-
+                            stripped plan hashes and full plan text.
+``sys.dm_exec_operator_stats``  Per-operator cardinality feedback: estimated
+                            vs actual rows, simulated time, pruning.
 ==========================  ==================================================
 
 Everything reads *live* state at query time; nothing here mutates the
@@ -293,6 +299,59 @@ class Introspector:
             ),
             "_dm_metrics_history",
         ),
+        "sys.dm_exec_query_stats": (
+            Schema.of(
+                ("query_hash", "string"),
+                ("statement_kind", "string"),
+                ("query_text", "string"),
+                ("executions", "int64"),
+                ("errors", "int64"),
+                ("total_rows", "int64"),
+                ("total_bytes_read", "int64"),
+                ("total_sim_s", "float64"),
+                ("mean_sim_s", "float64"),
+                ("p50_s", "float64"),
+                ("p95_s", "float64"),
+                ("p99_s", "float64"),
+                ("recent_p95_s", "float64"),
+                ("baseline_p95_s", "float64"),
+                ("regressions", "int64"),
+                ("plan_count", "int64"),
+                ("tenants", "string"),
+                ("workload_classes", "string"),
+                ("first_seen", "float64"),
+                ("last_seen", "float64"),
+            ),
+            "_dm_exec_query_stats",
+        ),
+        "sys.dm_exec_query_plans": (
+            Schema.of(
+                ("query_hash", "string"),
+                ("plan_hash", "string"),
+                ("executions", "int64"),
+                ("first_seen", "float64"),
+                ("last_seen", "float64"),
+                ("plan_text", "string"),
+            ),
+            "_dm_exec_query_plans",
+        ),
+        "sys.dm_exec_operator_stats": (
+            Schema.of(
+                ("query_hash", "string"),
+                ("operator_id", "int64"),
+                ("operator", "string"),
+                ("executions", "int64"),
+                ("est_rows", "float64"),
+                ("actual_rows", "float64"),
+                ("misestimate", "float64"),
+                ("sim_time_s", "float64"),
+                ("files", "int64"),
+                ("files_pruned", "int64"),
+                ("row_groups", "int64"),
+                ("row_groups_pruned", "int64"),
+            ),
+            "_dm_exec_operator_stats",
+        ),
     }
 
     def __init__(self, context: "ServiceContext") -> None:
@@ -541,6 +600,24 @@ class Introspector:
                     }
                 )
         return rows
+
+    def _dm_exec_query_stats(self) -> List[Dict[str, Any]]:
+        store = self._context.telemetry.querystore
+        if store is None:
+            return []
+        return store.query_stats_rows()
+
+    def _dm_exec_query_plans(self) -> List[Dict[str, Any]]:
+        store = self._context.telemetry.querystore
+        if store is None:
+            return []
+        return store.query_plans_rows()
+
+    def _dm_exec_operator_stats(self) -> List[Dict[str, Any]]:
+        store = self._context.telemetry.querystore
+        if store is None:
+            return []
+        return store.operator_stats_rows()
 
     # -- end-of-run report ----------------------------------------------------
 

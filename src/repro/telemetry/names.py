@@ -40,8 +40,17 @@ METRIC_NAMES: Dict[str, str] = {
     "dcp.task_failures": "Transient task-attempt failures.",
     "dcp.task_retries": "Task attempts beyond the first.",
     "dcp.tasks": "Tasks executed, labeled by pool.",
+    "querystore.plan_regressions": (
+        "Fingerprints whose recent p95 regressed past their baseline."
+    ),
+    "querystore.recorded": (
+        "Statement executions folded into the query store, by kind."
+    ),
     "recovery.gateway_requests_scavenged": (
         "Admitted-but-unfinished gateway requests scavenged on restart."
+    ),
+    "recovery.querystore_discarded": (
+        "Crashed in-flight query-store executions discarded on restart."
     ),
     "recovery.in_doubt_aborted": "In-doubt transactions aborted by recovery.",
     "recovery.in_doubt_committed": (

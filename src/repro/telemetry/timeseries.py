@@ -275,6 +275,7 @@ def default_rules(
     backoff_saturation: float = 0.5,
     admission_queue_depth: float = 100.0,
     admission_queue_hold_s: float = 30.0,
+    plan_regression_rate_per_s: float = 0.01,
 ) -> List[WatchdogRule]:
     """The stock rule set wired in by ``TelemetryConfig.watchdog_enabled``.
 
@@ -288,6 +289,11 @@ def default_rules(
       holding at least ``admission_queue_depth`` requests continuously
       for ``admission_queue_hold_s`` (load shedding should engage long
       before the queues pin at capacity).
+    * ``plan_latency_regression`` — query-store fingerprints whose recent
+      p95 regressed past their stored baseline, accumulating faster than
+      ``plan_regression_rate_per_s`` per simulated second (requires
+      ``TelemetryConfig.query_store_enabled``; the counter never moves
+      otherwise).
     """
     return [
         WatchdogRule(
@@ -315,5 +321,11 @@ def default_rules(
             threshold=admission_queue_depth,
             mode="value",
             hold_s=admission_queue_hold_s,
+        ),
+        WatchdogRule(
+            name="plan_latency_regression",
+            metric="querystore.plan_regressions",
+            threshold=plan_regression_rate_per_s,
+            mode="rate",
         ),
     ]

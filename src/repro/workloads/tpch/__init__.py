@@ -2,6 +2,13 @@
 
 from repro.workloads.tpch.generator import TpchGenerator
 from repro.workloads.tpch.queries import TPCH_QUERIES
+from repro.workloads.tpch.queries_sql import TPCH_SQL_QUERIES
 from repro.workloads.tpch.schema import TPCH_SCHEMAS, date_days
 
-__all__ = ["TPCH_QUERIES", "TPCH_SCHEMAS", "TpchGenerator", "date_days"]
+__all__ = [
+    "TPCH_QUERIES",
+    "TPCH_SCHEMAS",
+    "TPCH_SQL_QUERIES",
+    "TpchGenerator",
+    "date_days",
+]

@@ -744,3 +744,125 @@ class TestMetricNaming:
 
         for name in list(METRIC_NAMES) + list(SPAN_NAMES):
             assert is_well_formed(name), name
+
+
+# -- dmv-schema-discipline -----------------------------------------------------
+
+
+class TestDmvSchemaDiscipline:
+    CLEAN = """\
+        from repro.pagefile.schema import Schema
+
+        class Views:
+            VIEWS = {
+                "sys.dm_things": (
+                    Schema.of(("thing_id", "int64"), ("name", "string")),
+                    "_dm_things",
+                ),
+            }
+
+            def _dm_things(self):
+                return []
+        """
+
+    def test_clean_literal_table(self):
+        assert run(self.CLEAN, "dmv-schema-discipline") == []
+
+    def test_flags_non_literal_view_name(self):
+        findings = run(
+            """\
+            from repro.pagefile.schema import Schema
+
+            NAME = "sys.dm_things"
+
+            class Views:
+                VIEWS = {
+                    NAME: (Schema.of(("x", "int64")), "_dm_things"),
+                }
+
+                def _dm_things(self):
+                    return []
+            """,
+            "dmv-schema-discipline",
+        )
+        assert [f.rule for f in findings] == ["dmv-schema-discipline"]
+        assert "literal 'sys.dm_*'" in findings[0].message
+
+    def test_flags_bad_column_type(self):
+        findings = run(
+            """\
+            from repro.pagefile.schema import Schema
+
+            class Views:
+                VIEWS = {
+                    "sys.dm_things": (
+                        Schema.of(("x", "int32")),
+                        "_dm_things",
+                    ),
+                }
+
+                def _dm_things(self):
+                    return []
+            """,
+            "dmv-schema-discipline",
+        )
+        assert "int32" in findings[0].message
+
+    def test_flags_unknown_provider(self):
+        findings = run(
+            """\
+            from repro.pagefile.schema import Schema
+
+            class Views:
+                VIEWS = {
+                    "sys.dm_things": (
+                        Schema.of(("x", "int64")),
+                        "_dm_nope",
+                    ),
+                }
+            """,
+            "dmv-schema-discipline",
+        )
+        assert "not a method" in findings[0].message
+
+    def test_flags_non_schema_of_value(self):
+        findings = run(
+            """\
+            class Views:
+                VIEWS = {
+                    "sys.dm_things": (build_schema(), "_dm_things"),
+                }
+
+                def _dm_things(self):
+                    return []
+            """,
+            "dmv-schema-discipline",
+        )
+        assert "Schema.of" in findings[0].message
+
+    def test_flags_dynamic_registration(self):
+        findings = run(
+            """\
+            from repro.telemetry.introspection import Introspector
+
+            def sneak(schema):
+                Introspector.VIEWS["sys.dm_sneaky"] = (schema, "_dm_sneaky")
+                Introspector.VIEWS.update({})
+            """,
+            "dmv-schema-discipline",
+        )
+        assert len(findings) == 2
+        assert all("dynamic" in f.message for f in findings)
+
+    def test_introspector_module_is_clean(self):
+        import inspect
+
+        from repro.telemetry import introspection
+
+        source = inspect.getsource(introspection)
+        findings = lint_source(
+            source,
+            relpath="src/repro/telemetry/introspection.py",
+            rules=[get_rule("dmv-schema-discipline")],
+        )
+        assert findings == []

@@ -1,0 +1,198 @@
+"""Schema-stability contract for every ``sys.dm_*`` view.
+
+The ``dmv-schema-discipline`` lint rule statically verifies the VIEWS
+table's *shape* (literal names, literal (column, type) pairs, resolvable
+providers).  This module is the runtime half it requires: an independent
+literal copy of every view's schema, diffed against the live catalog —
+any column added, removed, retyped, or reordered fails here first, which
+is the point: DMV schemas are a public SQL surface and must change
+deliberately, together with this table and ``docs/OBSERVABILITY.md``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PolarisConfig, Warehouse
+from repro.telemetry.introspection import Introspector
+
+#: Independent expected-schema table: view -> ordered (column, type).
+#: Deliberately duplicates the VIEWS declarations — drift detection only
+#: works when the two copies change in the same commit.
+EXPECTED_SCHEMAS = {
+    "sys.dm_transactions": (
+        ("txid", "int64"),
+        ("status", "string"),
+        ("isolation", "string"),
+        ("begin_seq", "int64"),
+        ("begin_ts", "float64"),
+        ("commit_seq", "int64"),
+        ("units", "int64"),
+        ("tables", "string"),
+        ("rows_inserted", "int64"),
+        ("rows_deleted", "int64"),
+        ("reason", "string"),
+    ),
+    "sys.dm_storage_health": (
+        ("table_id", "int64"),
+        ("table_name", "string"),
+        ("state", "string"),
+        ("file_count", "int64"),
+        ("total_rows", "int64"),
+        ("deleted_rows", "int64"),
+        ("low_quality_files", "int64"),
+        ("low_quality_fraction", "float64"),
+        ("dv_count", "int64"),
+        ("pending_compaction", "bool"),
+    ),
+    "sys.dm_checkpoints": (
+        ("table_id", "int64"),
+        ("table_name", "string"),
+        ("sequence_id", "int64"),
+        ("path", "string"),
+        ("created_at", "float64"),
+    ),
+    "sys.dm_store_operations": (
+        ("operation", "string"),
+        ("requests", "int64"),
+        ("faults", "int64"),
+        ("latency_count", "int64"),
+        ("latency_mean_s", "float64"),
+        ("latency_p50_s", "float64"),
+        ("latency_p95_s", "float64"),
+        ("latency_p99_s", "float64"),
+        ("latency_max_s", "float64"),
+    ),
+    "sys.dm_recovery_history": (
+        ("recovery_id", "int64"),
+        ("at", "float64"),
+        ("in_doubt_committed", "int64"),
+        ("in_doubt_aborted", "int64"),
+        ("staged_blocks_discarded", "int64"),
+        ("publishes_completed", "int64"),
+    ),
+    "sys.dm_sessions": (
+        ("session_id", "int64"),
+        ("tenant", "string"),
+        ("state", "string"),
+        ("opened_at", "float64"),
+        ("last_active_at", "float64"),
+        ("requests", "int64"),
+    ),
+    "sys.dm_requests": (
+        ("request_id", "int64"),
+        ("session_id", "int64"),
+        ("tenant", "string"),
+        ("workload_class", "string"),
+        ("priority", "int64"),
+        ("status", "string"),
+        ("submitted_at", "float64"),
+        ("started_at", "float64"),
+        ("finished_at", "float64"),
+        ("queue_wait_s", "float64"),
+        ("execute_s", "float64"),
+        ("retry_after_s", "float64"),
+        ("error", "string"),
+    ),
+    "sys.dm_metrics": (
+        ("name", "string"),
+        ("labels", "string"),
+        ("kind", "string"),
+        ("value", "float64"),
+        ("count", "int64"),
+        ("sum", "float64"),
+        ("min", "float64"),
+        ("mean", "float64"),
+        ("max", "float64"),
+        ("p50", "float64"),
+        ("p95", "float64"),
+        ("p99", "float64"),
+    ),
+    "sys.dm_metrics_history": (
+        ("sample_id", "int64"),
+        ("at", "float64"),
+        ("metric", "string"),
+        ("value", "float64"),
+    ),
+    "sys.dm_exec_query_stats": (
+        ("query_hash", "string"),
+        ("statement_kind", "string"),
+        ("query_text", "string"),
+        ("executions", "int64"),
+        ("errors", "int64"),
+        ("total_rows", "int64"),
+        ("total_bytes_read", "int64"),
+        ("total_sim_s", "float64"),
+        ("mean_sim_s", "float64"),
+        ("p50_s", "float64"),
+        ("p95_s", "float64"),
+        ("p99_s", "float64"),
+        ("recent_p95_s", "float64"),
+        ("baseline_p95_s", "float64"),
+        ("regressions", "int64"),
+        ("plan_count", "int64"),
+        ("tenants", "string"),
+        ("workload_classes", "string"),
+        ("first_seen", "float64"),
+        ("last_seen", "float64"),
+    ),
+    "sys.dm_exec_query_plans": (
+        ("query_hash", "string"),
+        ("plan_hash", "string"),
+        ("executions", "int64"),
+        ("first_seen", "float64"),
+        ("last_seen", "float64"),
+        ("plan_text", "string"),
+    ),
+    "sys.dm_exec_operator_stats": (
+        ("query_hash", "string"),
+        ("operator_id", "int64"),
+        ("operator", "string"),
+        ("executions", "int64"),
+        ("est_rows", "float64"),
+        ("actual_rows", "float64"),
+        ("misestimate", "float64"),
+        ("sim_time_s", "float64"),
+        ("files", "int64"),
+        ("files_pruned", "int64"),
+        ("row_groups", "int64"),
+        ("row_groups_pruned", "int64"),
+    ),
+}
+
+
+def test_every_view_is_covered_exactly():
+    """Coverage completeness both ways: no view escapes the table."""
+    assert set(EXPECTED_SCHEMAS) == set(Introspector.VIEWS)
+
+
+@pytest.mark.parametrize("view", sorted(EXPECTED_SCHEMAS))
+def test_schema_matches_expected(view):
+    schema = Introspector.schema(view)
+    declared = tuple((f.name, f.type) for f in schema.fields)
+    assert declared == EXPECTED_SCHEMAS[view]
+
+
+@pytest.mark.parametrize("view", sorted(EXPECTED_SCHEMAS))
+def test_empty_view_batch_keeps_dtypes(view):
+    """Every view materializes with schema dtypes even with zero rows."""
+    dw = Warehouse(config=PolarisConfig(), auto_optimize=False)
+    intro = dw.context.introspection
+    batch = intro.batch(view)
+    schema = Introspector.schema(view)
+    assert list(batch) == [f.name for f in schema.fields]
+    for field in schema.fields:
+        assert batch[field.name].dtype == np.dtype(field.numpy_dtype)
+
+
+def test_dm_exec_views_sql_queryable_when_disabled(config):
+    """Query store off: the views answer SQL with zero rows, full schema."""
+    dw = Warehouse(config=config, auto_optimize=False)
+    session = dw.session()
+    assert dw.telemetry.querystore is None
+    for view in sorted(EXPECTED_SCHEMAS):
+        if not view.startswith("sys.dm_exec_"):
+            continue
+        batch = session.sql(f"SELECT * FROM {view}")
+        assert list(batch) == [c for c, _ in EXPECTED_SCHEMAS[view]]
+        first = next(iter(batch.values()))
+        assert len(first) == 0

@@ -79,6 +79,31 @@ class TestExplainAnalyze:
         assert "files_pruned=12" in text
         assert "row_groups=" in text
 
+    def test_text_reports_estimates_and_misestimate_ratio(self, dw, loaded):
+        plan = self.plan()
+        result = loaded.explain_analyze(plan)
+        # 400 live rows x 0.5 prune selectivity x 1/3 predicate
+        # selectivity -> 67 estimated vs 50 actual, ratio 1.34x.
+        assert "est=67" in result.text
+        assert "ratio=1.34x" in result.text
+        assert result.estimates[id(plan.child)] == 67
+        assert result.estimates[id(plan)] == 67  # Project passes through
+
+    def test_estimates_cover_every_operator(self, dw, loaded):
+        plan = Aggregate(
+            Filter(
+                TableScan("t", ("id", "v")),
+                BinOp(">", Col("v"), Lit(100.0)),
+            ),
+            (),
+            {"n": ("count", None)},
+        )
+        result = loaded.explain_analyze(plan)
+        assert result.estimates[id(plan.child.child)] == 400  # unfiltered scan
+        assert result.estimates[id(plan.child)] == 133  # x 1/3 selectivity
+        assert result.estimates[id(plan)] == 1  # global aggregate
+        assert "est=1 " in result.text or "est=1)" in result.text
+
     def test_stats_per_operator(self, dw, loaded):
         plan = self.plan()
         result = loaded.explain_analyze(plan)
@@ -130,6 +155,8 @@ class TestSqlExplain:
         text = sql.execute("EXPLAIN ANALYZE SELECT id, v FROM t WHERE id < 50")
         assert "rows=50" in text
         assert "files_pruned=12" in text
+        assert "est=" in text
+        assert "ratio=" in text
 
     def test_explain_is_case_insensitive(self, dw, loaded):
         sql = SqlSession(loaded)

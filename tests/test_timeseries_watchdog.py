@@ -217,18 +217,24 @@ class TestWatchdogUnit:
         with pytest.raises(ValueError):
             WatchdogRule(name="", metric="m", threshold=1.0)
 
-    def test_default_rules_cover_the_four_failure_modes(self):
+    def test_default_rules_cover_the_five_failure_modes(self):
         rules = {rule.name: rule for rule in default_rules()}
         assert set(rules) == {
             "abort_rate_spike",
             "red_table_lingering",
             "retry_backoff_saturation",
             "admission_queue_saturation",
+            "plan_latency_regression",
         }
         assert rules["abort_rate_spike"].mode == "rate"
         assert rules["red_table_lingering"].hold_s > 0
         assert rules["admission_queue_saturation"].metric == "service.queue_depth"
         assert rules["admission_queue_saturation"].hold_s > 0
+        assert rules["plan_latency_regression"].mode == "rate"
+        assert (
+            rules["plan_latency_regression"].metric
+            == "querystore.plan_regressions"
+        )
 
 
 class TestWatchdogEndToEnd:
