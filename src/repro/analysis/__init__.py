@@ -43,10 +43,35 @@ from repro.analysis.si import (
     load_history_jsonl,
 )
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rules module populates the registry as a side effect;
+# deep_rules registers the deep rule names for suppression validation.
 from repro.analysis import rules as _rules  # noqa: F401  (registration)
+from repro.analysis.callgraph import Program
+from repro.analysis.cfg import Cfg, build_cfg
+from repro.analysis.deep_rules import DEEP_RULES, run_deep
+from repro.analysis.output import (
+    finding_ids,
+    load_baseline,
+    partition_baseline,
+    render,
+    to_json_doc,
+    to_sarif_doc,
+    write_baseline,
+)
 
 __all__ = [
+    "Program",
+    "Cfg",
+    "build_cfg",
+    "DEEP_RULES",
+    "run_deep",
+    "finding_ids",
+    "load_baseline",
+    "partition_baseline",
+    "render",
+    "to_json_doc",
+    "to_sarif_doc",
+    "write_baseline",
     "Finding",
     "ModuleSource",
     "Rule",

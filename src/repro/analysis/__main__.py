@@ -7,10 +7,18 @@ per line, ``path:line: rule: message``, sorted by file.
 Usage::
 
     python -m repro.analysis [--strict] [paths...]   # lint (default: repro pkg)
+    python -m repro.analysis --deep [--strict]       # + whole-program analyses
+    python -m repro.analysis --format=json|sarif     # machine-readable output
+    python -m repro.analysis --deep --baseline analysis-baseline.json
+    python -m repro.analysis --deep --write-baseline analysis-baseline.json
     python -m repro.analysis --list-rules            # show the rule catalogue
     python -m repro.analysis --rules a,b paths...    # run a subset of rules
     python -m repro.analysis --si-history t.jsonl    # sanitize a recorded trace
     python -m repro.analysis --si-smoke              # end-to-end self-check
+
+With ``--baseline``, only findings whose stable ID is *not* listed in the
+baseline file fail the run (ratchet semantics): known debt is tracked,
+new violations always exit 1.
 """
 
 from __future__ import annotations
@@ -21,7 +29,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
-from repro.analysis.framework import all_rules, format_findings, lint_paths
+from repro.analysis.deep_rules import run_deep
+from repro.analysis.framework import all_rules, lint_paths
+from repro.analysis.output import (
+    load_baseline,
+    partition_baseline,
+    render,
+    write_baseline,
+)
 from repro.analysis.si import (
     check_history,
     format_violations,
@@ -36,31 +51,73 @@ def _default_target() -> Path:
 
 
 def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.deep_rules import DEEP_RULES
+
     rules = None
+    deep_checks = None
     if args.rules:
         wanted = {name.strip() for name in args.rules.split(",") if name.strip()}
         known = {rule.name: rule for rule in all_rules()}
-        unknown = sorted(wanted - set(known))
+        deep_checks = sorted(wanted & set(DEEP_RULES))
+        unknown = sorted(wanted - set(known) - set(DEEP_RULES))
         if unknown:
             print(
                 f"error: unknown rule(s): {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(known))}",
+                f"known: {', '.join(sorted(known) + sorted(DEEP_RULES))}",
                 file=sys.stderr,
             )
             return 2
-        rules = [known[name] for name in sorted(wanted)]
+        rules = [known[name] for name in sorted(wanted & set(known))]
     targets = [Path(p) for p in args.paths] or [_default_target()]
     missing = [str(p) for p in targets if not p.exists()]
     if missing:
         print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
     findings = lint_paths(targets, rules=rules, strict=args.strict)
+    if args.deep:
+        findings = findings + run_deep(
+            targets, strict=args.strict, checks=deep_checks
+        )
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    if args.write_baseline:
+        write_baseline(findings, Path(args.write_baseline))
+        print(
+            f"baseline written: {len(findings)} finding(s) -> "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    known_count = 0
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(
+                f"error: baseline file not found: {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        findings, known = partition_baseline(
+            findings, load_baseline(baseline_path)
+        )
+        known_count = len(known)
+
     if findings:
-        print(format_findings(findings))
-        print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+        print(render(findings, args.format))
+        label = "new finding(s)" if args.baseline else "finding(s)"
+        print(f"\n{len(findings)} {label}", file=sys.stderr)
         return 1
+    if args.format != "text":
+        print(render(findings, args.format))
+        return 0
     checked = ", ".join(str(t) for t in targets)
-    print(f"clean: {len(all_rules() if rules is None else rules)} rule(s) over {checked}")
+    mode = "lint+deep" if args.deep else "lint"
+    suffix = f" ({known_count} baselined)" if known_count else ""
+    print(
+        f"clean [{mode}]: "
+        f"{len(all_rules() if rules is None else rules)} rule(s) over "
+        f"{checked}{suffix}"
+    )
     return 0
 
 
@@ -176,6 +233,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--strict",
         action="store_true",
         help="also flag suppression comments that suppress nothing",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program analyses (call graph + CFG)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="ratchet file of known finding IDs; only new findings fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
         "--rules",

@@ -1,0 +1,101 @@
+"""A small forward may-dataflow engine over :mod:`repro.analysis.cfg`.
+
+Facts are ``frozenset`` elements, joined by union (may-analysis).  Each
+block's transfer function produces *two* out-states: one for normal
+successors and one for exception successors — so an analysis can say
+"a failed acquisition never held the resource, but a failing release
+still counts as released".
+
+An ``edge_filter`` restricts which edge kinds propagate; the resource
+analyses use it to drop ``exc-base`` edges (a ``SimulatedCrash`` escape
+is a process crash, not an error path the code must clean up on).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.cfg import Block, Cfg, EXC, EXC_BASE
+
+State = FrozenSet[str]
+EMPTY: State = frozenset()
+
+
+class ForwardAnalysis:
+    """Base class: subclass and implement :meth:`transfer`.
+
+    Call :meth:`solve` with a CFG to get the fixpoint IN-state of every
+    block (keyed by ``block.bid``).
+    """
+
+    def transfer(self, block: Block, state: State) -> Tuple[State, State]:
+        """Return ``(normal_out, exc_out)`` for one block."""
+        raise NotImplementedError
+
+    def entry_state(self, cfg: Cfg) -> State:
+        """The IN-state of the entry block (default: empty)."""
+        return EMPTY
+
+    def solve(
+        self,
+        cfg: Cfg,
+        edge_filter: Optional[Callable[[str], bool]] = None,
+    ) -> Dict[int, State]:
+        """Iterate to fixpoint; returns block id -> IN-state."""
+        in_states: Dict[int, State] = {b.bid: EMPTY for b in cfg.blocks}
+        in_states[cfg.entry.bid] = self.entry_state(cfg)
+        # Every block is seeded so gen-facts of blocks whose IN never
+        # changes (still-empty) are propagated too.
+        work: Set[int] = {b.bid for b in cfg.blocks}
+        by_id = {b.bid: b for b in cfg.blocks}
+        while work:
+            bid = work.pop()
+            block = by_id[bid]
+            normal_out, exc_out = self.transfer(block, in_states[bid])
+            for succ, kind in block.succs:
+                if edge_filter is not None and not edge_filter(kind):
+                    continue
+                contribution = (
+                    exc_out if kind in (EXC, EXC_BASE) else normal_out
+                )
+                merged = in_states[succ.bid] | contribution
+                if merged != in_states[succ.bid]:
+                    in_states[succ.bid] = merged
+                    work.add(succ.bid)
+        return in_states
+
+
+class GenKill(ForwardAnalysis):
+    """Gen/kill analysis: provide per-block gen and kill sets.
+
+    On the normal out-edge ``out = (in - kill) | gen``; on the exception
+    out-edge ``out = in - kill`` (the generating operation is assumed to
+    have failed, the killing one to have completed).  ``extra_kills``
+    adds kills at synthetic blocks (e.g. guard-promoted releases at an
+    ``if`` join).
+    """
+
+    def __init__(
+        self,
+        gen: Dict[int, Set[str]],
+        kill: Dict[int, Set[str]],
+        extra_kills: Optional[Dict[int, Set[str]]] = None,
+    ) -> None:
+        self._gen = gen
+        self._kill = kill
+        self._extra = extra_kills or {}
+
+    def transfer(self, block: Block, state: State) -> Tuple[State, State]:
+        """Apply this block's gen/kill (and promoted kills) to ``state``."""
+        kill = self._kill.get(block.bid, set()) | self._extra.get(
+            block.bid, set()
+        )
+        gen = self._gen.get(block.bid, set())
+        surviving = state - kill if kill else state
+        normal = surviving | gen if gen else surviving
+        return normal, surviving
+
+
+def drop_exc_base(kind: str) -> bool:
+    """Edge filter excluding ``exc-base`` (crash-only) edges."""
+    return kind != EXC_BASE

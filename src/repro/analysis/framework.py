@@ -101,6 +101,19 @@ class Rule:
 
 _REGISTRY: Dict[str, Rule] = {}
 
+#: Rule names owned by other runners (the deep analyses).  They are valid
+#: in suppression comments, but per-module linting neither runs them nor
+#: judges whether their suppressions were useful — the owning runner does.
+_EXTERNAL_RULES: Set[str] = set()
+
+
+def register_external_rules(names: Iterable[str]) -> None:
+    """Declare rule names checked outside the per-module lint pass."""
+    for name in names:
+        if not _RULE_NAME_RE.match(name):
+            raise ValueError(f"invalid rule name {name!r}")
+        _EXTERNAL_RULES.add(name)
+
 
 def register(rule_cls: type) -> type:
     """Class decorator: instantiate and add a rule to the global registry."""
@@ -128,8 +141,8 @@ def get_rule(name: str) -> Rule:
 
 
 def known_rule_names() -> Set[str]:
-    """The set of registered rule names."""
-    return set(_REGISTRY)
+    """Registered rule names, including externally-checked (deep) ones."""
+    return set(_REGISTRY) | set(_EXTERNAL_RULES)
 
 
 # -- suppression parsing -------------------------------------------------------
@@ -226,7 +239,11 @@ def lint_module(
                     ),
                 )
             )
-        elif strict and lineno not in used_suppressions:
+        elif (
+            strict
+            and lineno not in used_suppressions
+            and not (names & _EXTERNAL_RULES)
+        ):
             findings.append(
                 Finding(
                     path=module.relpath,

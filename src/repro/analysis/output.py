@@ -1,0 +1,155 @@
+"""Finding output formats: stable IDs, JSON, SARIF 2.1.0, and the baseline.
+
+The same layer serves the classic lint mode and ``--deep``:
+
+* **Stable IDs** — ``sha256(rule | posix-path | message)`` truncated to
+  12 hex chars, with a ``-N`` occurrence suffix for duplicates.  Line
+  numbers are deliberately *not* hashed, so unrelated edits above a
+  finding do not churn the baseline; the occurrence index keeps repeated
+  identical findings in one file distinct.
+* **JSON** — ``{"version": 1, "findings": [...]}``, machine-readable and
+  round-trippable into a baseline.
+* **SARIF 2.1.0** — the minimum valid document (tool driver + results
+  with ``ruleId``/``message``/``locations``/``partialFingerprints``) so
+  CI systems can annotate PRs.
+* **Baseline ratchet** — a committed JSON file of known finding IDs; a
+  run fails only on findings *not* in the baseline, so legacy debt is
+  tracked without blocking, while new violations always fail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+#: SARIF schema/version pinned by the tests.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def finding_ids(findings: Sequence[Finding]) -> List[str]:
+    """Stable, line-independent IDs, one per finding (order-aligned)."""
+    seen: Dict[str, int] = {}
+    out: List[str] = []
+    for finding in findings:
+        posix = finding.path.replace("\\", "/")
+        digest = hashlib.sha256(
+            f"{finding.rule}|{posix}|{finding.message}".encode("utf-8")
+        ).hexdigest()[:12]
+        count = seen.get(digest, 0)
+        seen[digest] = count + 1
+        out.append(digest if count == 0 else f"{digest}-{count + 1}")
+    return out
+
+
+def to_json_doc(findings: Sequence[Finding]) -> Dict:
+    """The JSON document for a finding list."""
+    ids = finding_ids(findings)
+    return {
+        "version": 1,
+        "findings": [
+            {
+                "id": fid,
+                "path": finding.path.replace("\\", "/"),
+                "line": finding.line,
+                "rule": finding.rule,
+                "message": finding.message,
+            }
+            for fid, finding in zip(ids, findings)
+        ],
+    }
+
+
+def to_sarif_doc(findings: Sequence[Finding]) -> Dict:
+    """A minimal valid SARIF 2.1.0 document for a finding list."""
+    ids = finding_ids(findings)
+    rules = sorted({finding.rule for finding in findings})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": (
+                            "https://example.invalid/repro-analysis"
+                        ),
+                        "rules": [{"id": rule} for rule in rules],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": finding.rule,
+                        "level": "error",
+                        "message": {"text": finding.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": finding.path.replace("\\", "/")
+                                    },
+                                    "region": {"startLine": finding.line},
+                                }
+                            }
+                        ],
+                        "partialFingerprints": {
+                            "reproAnalysis/v1": fid
+                        },
+                    }
+                    for fid, finding in zip(ids, findings)
+                ],
+            }
+        ],
+    }
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    """Render findings as ``text``, ``json``, or ``sarif``."""
+    if fmt == "json":
+        return json.dumps(to_json_doc(findings), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(to_sarif_doc(findings), indent=2, sort_keys=True)
+    return "\n".join(finding.render() for finding in findings)
+
+
+# -- baseline ratchet ----------------------------------------------------------
+
+
+def load_baseline(path: Path) -> List[str]:
+    """Known finding IDs from a baseline file (JSON doc or bare ID list)."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(doc, list):
+        return [str(item) for item in doc]
+    return [str(entry["id"]) for entry in doc.get("findings", [])]
+
+
+def write_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Write the current findings as the new baseline."""
+    Path(path).write_text(
+        json.dumps(to_json_doc(findings), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def partition_baseline(
+    findings: Sequence[Finding], known_ids: Iterable[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """``(new, known)`` relative to a baseline.
+
+    Duplicate-occurrence accounting matches by multiset: N identical
+    findings against a baseline listing M of them yields ``N - M`` new.
+    """
+    known = set(known_ids)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for fid, finding in zip(finding_ids(findings), findings):
+        (old if fid in known else new).append(finding)
+    return new, old

@@ -105,40 +105,51 @@ class Scheduler:
         runs: Dict[str, TaskRun] = {}
         total_retries = 0
 
-        activation = tel.activate(dag_span) if tel is not None else None
+        activation = None
         try:
-            if activation is not None:
-                activation.__enter__()
-            for task_id in dag.topological_order():
-                task = dag.tasks[task_id]
-                pool = topology if topology is not None else wlm.pool(task.pool)
-                ready = max(
-                    [finish[up] for up in dag.upstream_of(task_id)] + [base_time]
+            try:
+                # Activation happens inside the try: if it raises, the
+                # error arm below still closes the DAG span.
+                if tel is not None:
+                    activation = tel.activate(dag_span)
+                    activation.__enter__()
+                for task_id in dag.topological_order():
+                    task = dag.tasks[task_id]
+                    pool = (
+                        topology if topology is not None else wlm.pool(task.pool)
+                    )
+                    ready = max(
+                        [finish[up] for up in dag.upstream_of(task_id)]
+                        + [base_time]
+                    )
+                    run, result = self._run_task(task, pool, ready, dag, results)
+                    finish[task_id] = run.finish
+                    results[task_id] = result
+                    runs[task_id] = run
+                    total_retries += run.attempts - 1
+                finished_at = max(finish.values(), default=base_time)
+            finally:
+                if activation is not None:
+                    activation.__exit__(None, None, None)
+            if tel is not None:
+                # End the span before the metering calls below so a
+                # metrics failure cannot strand it.
+                tel.end_span(
+                    dag_span, end_time=finished_at, retries=total_retries
                 )
-                run, result = self._run_task(task, pool, ready, dag, results)
-                finish[task_id] = run.finish
-                results[task_id] = result
-                runs[task_id] = run
-                total_retries += run.attempts - 1
         except BaseException as exc:
             if tel is not None:
                 tel.end_span(
                     dag_span, status="error", **{"error.type": type(exc).__name__}
                 )
             raise
-        finally:
-            if activation is not None:
-                activation.__exit__(None, None, None)
 
-        finished_at = max(finish.values(), default=base_time)
-        if tel is not None:
-            if tel.metering:
-                tel.metrics.counter("dcp.dags").inc()
-                tel.metrics.counter("dcp.task_retries").inc(total_retries)
-                tel.metrics.histogram("dcp.dag_makespan_s").observe(
-                    finished_at - base_time
-                )
-            tel.end_span(dag_span, end_time=finished_at, retries=total_retries)
+        if tel is not None and tel.metering:
+            tel.metrics.counter("dcp.dags").inc()
+            tel.metrics.counter("dcp.task_retries").inc(total_retries)
+            tel.metrics.histogram("dcp.dag_makespan_s").observe(
+                finished_at - base_time
+            )
         if advance_clock:
             self._clock.advance_to(finished_at)
         return DagResult(
@@ -189,32 +200,45 @@ class Scheduler:
                 if tracing
                 else None
             )
-            if self._attempt_fails(task, attempt):
-                # The failed attempt burns half its budget, then the task is
-                # re-scheduled; its private files/blocks become GC orphans.
-                node.slot_free_at[slot] = start + duration * 0.5
-                ready = start + duration * 0.5
-                self._record_attempt(
-                    tel, span, start + duration * 0.5, "error", "injected failure"
-                )
-                continue
-            context = TaskContext(node_id=node.node_id, attempt=attempt, inputs=inputs)
             try:
-                if span is not None:
-                    with tel.activate(span), self._store.latency_suspended():
-                        result = task.fn(context)
-                else:
-                    with self._store.latency_suspended():
-                        result = task.fn(context)
-            except TransientStorageError as exc:
-                node.slot_free_at[slot] = start + duration * 0.5
-                ready = start + duration * 0.5
-                self._record_attempt(
-                    tel, span, start + duration * 0.5, "error", str(exc)
+                if self._attempt_fails(task, attempt):
+                    # The failed attempt burns half its budget, then the
+                    # task is re-scheduled; its private files/blocks become
+                    # GC orphans.
+                    node.slot_free_at[slot] = start + duration * 0.5
+                    ready = start + duration * 0.5
+                    self._record_attempt(
+                        tel,
+                        span,
+                        start + duration * 0.5,
+                        "error",
+                        "injected failure",
+                    )
+                    continue
+                context = TaskContext(
+                    node_id=node.node_id, attempt=attempt, inputs=inputs
                 )
-                continue
-            node.slot_free_at[slot] = start + duration
-            self._record_attempt(tel, span, start + duration, "ok", None)
+                try:
+                    if span is not None:
+                        with tel.activate(span), self._store.latency_suspended():
+                            result = task.fn(context)
+                    else:
+                        with self._store.latency_suspended():
+                            result = task.fn(context)
+                except TransientStorageError as exc:
+                    node.slot_free_at[slot] = start + duration * 0.5
+                    ready = start + duration * 0.5
+                    self._record_attempt(
+                        tel, span, start + duration * 0.5, "error", str(exc)
+                    )
+                    continue
+                node.slot_free_at[slot] = start + duration
+                self._record_attempt(tel, span, start + duration, "ok", None)
+            except BaseException as exc:
+                # Any other escape (task bug, simulated crash unwinding)
+                # must not strand the attempt span.
+                self._record_attempt(tel, span, start, "error", str(exc))
+                raise
             if tel is not None and tel.metering:
                 tel.metrics.counter("dcp.tasks", pool=task.pool).inc()
                 tel.metrics.histogram("dcp.task_duration_s", pool=task.pool).observe(

@@ -269,6 +269,8 @@ class Gateway:
         crashpoint("service.dispatch.before_execute")
         metrics = self._telemetry.metrics
         metering = self._telemetry.metering
+        querystore = self._telemetry.querystore
+        attributed = False
         try:
             gateway_session = self.pool.acquire(request.tenant)
         except PolarisError as error:
@@ -282,59 +284,73 @@ class Gateway:
                     "service.failures", error=type(error).__name__
                 ).inc()
             return
-        if metering:
-            metrics.gauge("service.sessions_open").set(self.pool.open_count)
-        request.status = "running"
-        request.session_id = gateway_session.session_id
-        request.started_at = self._context.clock.now
-        request.queue_wait_s = request.started_at - request.submitted_at
-        querystore = self._telemetry.querystore
-        if querystore is not None:
-            # Statements executed by this request fold into the query
-            # store attributed to the request's tenant/workload class.
-            querystore.push_attribution(request.tenant, request.workload_class)
+        # The session is held from here on: everything, including the
+        # pre-execution accounting, runs under the releasing ``finally``.
         try:
-            with self._telemetry.span(
-                "service.request",
-                "service",
-                tenant=request.tenant,
-                workload_class=request.workload_class,
-                request_id=request.request_id,
-            ):
-                if isinstance(request.work, str):
-                    request.result = gateway_session.session.sql(request.work)
-                else:
-                    request.result = request.work(gateway_session.session)
-            crashpoint("service.dispatch.after_execute")
-        except PolarisError as error:
-            request.error = type(error).__name__
-            request.exception = error
-            self._finish(request, "failed")
             if metering:
-                metrics.counter(
-                    "service.failures", error=type(error).__name__
-                ).inc()
-        else:
-            self._finish(request, "completed")
-            if metering:
-                metrics.counter(
-                    "service.completions",
-                    workload_class=request.workload_class,
-                ).inc()
-                metrics.histogram(
-                    "service.queue_wait_s",
-                    workload_class=request.workload_class,
-                ).observe(request.queue_wait_s)
-                metrics.histogram(
-                    "service.request_latency_s",
-                    workload_class=request.workload_class,
-                ).observe(request.finished_at - request.submitted_at)
-        finally:
+                metrics.gauge("service.sessions_open").set(
+                    self.pool.open_count
+                )
+            request.status = "running"
+            request.session_id = gateway_session.session_id
+            request.started_at = self._context.clock.now
+            request.queue_wait_s = request.started_at - request.submitted_at
             if querystore is not None:
-                querystore.pop_attribution()
-            self.pool.release(gateway_session)
-            if metering:
-                metrics.gauge("service.sessions_open").set(self.pool.open_count)
+                # Statements executed by this request fold into the query
+                # store attributed to the request's tenant/workload class.
+                querystore.push_attribution(
+                    request.tenant, request.workload_class
+                )
+                attributed = True
+            try:
+                with self._telemetry.span(
+                    "service.request",
+                    "service",
+                    tenant=request.tenant,
+                    workload_class=request.workload_class,
+                    request_id=request.request_id,
+                ):
+                    if isinstance(request.work, str):
+                        request.result = gateway_session.session.sql(
+                            request.work
+                        )
+                    else:
+                        request.result = request.work(gateway_session.session)
+                crashpoint("service.dispatch.after_execute")
+            except PolarisError as error:
+                request.error = type(error).__name__
+                request.exception = error
+                self._finish(request, "failed")
+                if metering:
+                    metrics.counter(
+                        "service.failures", error=type(error).__name__
+                    ).inc()
+            else:
+                self._finish(request, "completed")
+                if metering:
+                    metrics.counter(
+                        "service.completions",
+                        workload_class=request.workload_class,
+                    ).inc()
+                    metrics.histogram(
+                        "service.queue_wait_s",
+                        workload_class=request.workload_class,
+                    ).observe(request.queue_wait_s)
+                    metrics.histogram(
+                        "service.request_latency_s",
+                        workload_class=request.workload_class,
+                    ).observe(request.finished_at - request.submitted_at)
+        finally:
+            try:
+                if attributed:
+                    querystore.pop_attribution()
+            finally:
+                # The release must survive a pop_attribution failure.
+                self.pool.release(gateway_session)
+                if metering:
+                    metrics.gauge("service.sessions_open").set(
+                        self.pool.open_count
+                    )
 
     # -- bookkeeping -------------------------------------------------------
 

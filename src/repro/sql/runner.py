@@ -70,6 +70,15 @@ class SqlSession:
                 clipped = text.strip()[: tel.config.sql_text_limit]
                 with tel.span("sql." + kind, "sql", sql=clipped):
                     result = self._dispatch(statement, pending)
+            # CREATE TABLE returns a table id, BEGIN/COMMIT return None —
+            # only row-producing statements feed the rows aggregate.  Row
+            # extraction runs inside the try: if it fails, the pending
+            # record is finished with the error rather than leaked.
+            rows = (
+                _result_rows(result)
+                if kind in ("select", "insert", "delete", "update")
+                else 0
+            )
         except Exception as error:
             # SimulatedCrash is a BaseException: a dead process reports
             # nothing, so its pending record stays in flight until
@@ -78,13 +87,6 @@ class SqlSession:
                 store.finish(pending, error=error)
             raise
         if pending is not None:
-            # CREATE TABLE returns a table id, BEGIN/COMMIT return None —
-            # only row-producing statements feed the rows aggregate.
-            rows = (
-                _result_rows(result)
-                if kind in ("select", "insert", "delete", "update")
-                else 0
-            )
             store.finish(pending, rows=rows)
         return result
 
