@@ -570,7 +570,7 @@ class DocstringCoverageRule(Rule):
 #: model process death inside the commit/write/STO protocols; sprinkling
 #: them elsewhere (tests, analysis, telemetry) would let a chaos sweep
 #: "crash" in places no real process boundary exists.
-CRASHPOINT_DIRS = ("fe", "sqldb", "sto", "service")
+CRASHPOINT_DIRS = ("fe", "sqldb", "sto", "service", "chaos")
 
 
 @register
@@ -589,7 +589,7 @@ class CrashpointDisciplineRule(Rule):
     name = "crashpoint-discipline"
     description = (
         "crashpoint() sites are literal, registered, unique, and confined "
-        "to fe/, sqldb/, sto/"
+        "to fe/, sqldb/, sto/, service/, chaos/"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:

@@ -34,12 +34,14 @@ __all__ = [
     "CRASHPOINTS",
     "ChaosController",
     "ChaosSweepResult",
+    "CorruptionSweepResult",
     "RecoveryError",
     "RecoveryManager",
     "RecoveryReport",
     "SimulatedCrash",
     "active_controller",
     "crashpoint",
+    "run_corruption_sweep",
     "run_crash_sweep",
     "run_longevity",
 ]
@@ -52,6 +54,8 @@ _LAZY = {
     "ChaosSweepResult": "repro.chaos.harness",
     "run_crash_sweep": "repro.chaos.harness",
     "run_longevity": "repro.chaos.harness",
+    "CorruptionSweepResult": "repro.chaos.corruption",
+    "run_corruption_sweep": "repro.chaos.corruption",
 }
 
 

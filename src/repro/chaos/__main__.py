@@ -7,7 +7,9 @@ so CI can gate on it directly.
 Usage::
 
     python -m repro.chaos --sweep [--seed N]          # crash everywhere
+    python -m repro.chaos --sweep --double-crash      # crash recovery too
     python -m repro.chaos --site fe.commit.after_sqldb_commit
+    python -m repro.chaos --corruption                # rot every blob kind
     python -m repro.chaos --list                      # crashpoint catalogue
     python -m repro.chaos --longevity 120 --failure-rate 0.02
 """
@@ -19,7 +21,11 @@ import sys
 from typing import List, Optional
 
 from repro.chaos.crashpoints import CRASHPOINTS
-from repro.chaos.harness import run_crash_sweep, run_longevity
+from repro.chaos.harness import (
+    RECOVERY_SITES,
+    run_crash_sweep,
+    run_longevity,
+)
 
 
 def _run_list() -> int:
@@ -30,18 +36,31 @@ def _run_list() -> int:
     return 0
 
 
-def _run_sweep(seed: int, sites: Optional[List[str]]) -> int:
+def _run_sweep(seed: int, sites: Optional[List[str]], double_crash: bool) -> int:
     """Run the crash sweep and report one line per site."""
     if sites:
         unknown = sorted(set(sites) - set(CRASHPOINTS))
+        recovery_only = sorted(set(sites) & set(RECOVERY_SITES))
         if unknown:
+            # The full catalogue, right here: a typo'd site name should
+            # not require a second invocation to see what was meant.
             print(
-                f"error: unknown crashpoint(s): {', '.join(unknown)}; "
-                "see --list",
+                f"error: unknown crashpoint(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            print("registered crashpoints:", file=sys.stderr)
+            for name in sorted(CRASHPOINTS):
+                print(f"  {name}", file=sys.stderr)
+            return 2
+        if recovery_only:
+            print(
+                f"error: {', '.join(recovery_only)} only fire(s) inside a "
+                "recovery pass; use --double-crash, which crashes recovery "
+                "at every recovery.* site",
                 file=sys.stderr,
             )
             return 2
-    result = run_crash_sweep(seed=seed, sites=sites)
+    result = run_crash_sweep(seed=seed, sites=sites, double_crash=double_crash)
     for line in result.summary():
         print(line)
     failures = result.failures
@@ -52,6 +71,37 @@ def _run_sweep(seed: int, sites: Optional[List[str]]) -> int:
                 print(f"  {site.site}: {problem}", file=sys.stderr)
         return 1
     print(f"\n{len(result.sites)} site(s) crashed and recovered cleanly")
+    return 0
+
+
+def _run_corruption(seed: int) -> int:
+    """Run the corruption sweep and report one line per scenario."""
+    from repro.chaos.corruption import run_corruption_sweep
+
+    result = run_corruption_sweep(seed=seed)
+    for line in result.summary():
+        print(line)
+    failures = result.failures
+    if failures or result.problems:
+        print(
+            f"\n{len(failures)} scenario(s) failed, "
+            f"{len(result.problems)} deployment problem(s):",
+            file=sys.stderr,
+        )
+        for scenario in failures:
+            for problem in scenario.problems:
+                print(
+                    f"  {scenario.mode}:{scenario.blob_kind}:"
+                    f"{scenario.fault}: {problem}",
+                    file=sys.stderr,
+                )
+        for problem in result.problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"\n{len(result.scenarios)} corruption scenario(s) detected, "
+        "quarantined, and repaired-or-RED"
+    )
     return 0
 
 
@@ -90,6 +140,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="restrict the sweep to this crashpoint (repeatable)",
     )
     parser.add_argument(
+        "--double-crash",
+        action="store_true",
+        help="also crash recovery itself at every recovery.* site per run",
+    )
+    parser.add_argument(
+        "--corruption",
+        action="store_true",
+        help="run the corruption sweep (every fault class x blob kind)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the crashpoint catalogue and exit",
@@ -112,10 +172,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.list:
         return _run_list()
+    if args.corruption:
+        return _run_corruption(args.seed)
     if args.longevity is not None:
         return _run_longevity(args.seed, args.longevity, args.failure_rate)
     if args.sweep or args.site:
-        return _run_sweep(args.seed, args.site)
+        return _run_sweep(args.seed, args.site, args.double_crash)
     parser.print_help(sys.stderr)
     return 2
 

@@ -105,6 +105,31 @@ CRASHPOINTS: Dict[str, str] = {
         "Delta log entry written, publisher bookkeeping/shortcut not yet "
         "done"
     ),
+    # -- Restart recovery (repro.chaos.recovery) ---------------------------
+    # Recovery itself can die mid-pass; every step is idempotent, so a
+    # re-entered pass repairs whatever the first attempt left behind.
+    "recovery.in_doubt.after_resolve": (
+        "recovery: in-doubt transactions resolved, staged blocks not yet "
+        "discarded"
+    ),
+    "recovery.staged.after_discard": (
+        "recovery: staged blocks discarded, catalog not yet reconciled "
+        "against the store"
+    ),
+    "recovery.catalog.after_reconcile": (
+        "recovery: catalog reconciled, caches not yet invalidated and "
+        "missed publishes not yet completed"
+    ),
+    "recovery.publish.after_complete": (
+        "recovery: missed publishes completed, gateway not yet scavenged"
+    ),
+    "recovery.gateway.after_scavenge": (
+        "recovery: gateway scavenged, query store not yet scavenged"
+    ),
+    "recovery.querystore.after_scavenge": (
+        "recovery: query store scavenged, orchestrator trigger state not "
+        "yet rebound"
+    ),
 }
 
 #: The currently installed controller (None almost always).

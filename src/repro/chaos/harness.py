@@ -56,6 +56,18 @@ from repro.warehouse.warehouse import Warehouse
 #: Schema shared by every workload table.
 WORKLOAD_SCHEMA = Schema.of(("id", "int64"), ("v", "float64"))
 
+#: The recovery re-entrancy sites: they only fire *inside* a
+#: :class:`RecoveryManager` pass, so the default sweep never arms them.
+#: ``double_crash`` mode crashes recovery itself at each of them instead.
+RECOVERY_SITES: Tuple[str, ...] = tuple(
+    sorted(site for site in CRASHPOINTS if site.startswith("recovery."))
+)
+
+#: Sites the default sweep enumerates (everything the workload reaches).
+WORKLOAD_SITES: Tuple[str, ...] = tuple(
+    sorted(site for site in CRASHPOINTS if not site.startswith("recovery."))
+)
+
 #: Which occurrence of each site the sweep crashes at.  Commit-path sites
 #: fire on every transaction, so crashing at the fifth hit lands the
 #: crash inside the workload's multi-statement transaction (two tables in
@@ -364,6 +376,39 @@ def _check_si(recorder: HistoryRecorder) -> List[str]:
     return ["si violation: " + line for line in format_violations(violations).splitlines()]
 
 
+def _recover_with_crashes(
+    context, sto, seed: int
+) -> Tuple[RecoveryReport, List[str]]:
+    """Crash recovery itself at every ``recovery.*`` site, then finish.
+
+    The double-crash scenario: the process died mid-protocol, the restart
+    began repairing, and then *that* process died too — at every possible
+    step boundary in turn.  Each partial pass is abandoned where its armed
+    site fires; the next pass must be able to re-enter over whatever the
+    previous one left behind (every recovery step is idempotent).  The
+    final pass runs with nothing armed and its report is returned.
+
+    Returns ``(final_report, problems)`` where ``problems`` names any
+    recovery site that failed to fire (recovery no longer reaches it).
+    """
+    problems: List[str] = []
+    manager = RecoveryManager(context, sto=sto, strict=False)
+    for site in RECOVERY_SITES:
+        controller = ChaosController(
+            seed=seed, telemetry=context.telemetry
+        ).arm(site)
+        with controller:
+            try:
+                manager.recover()
+            except SimulatedCrash:
+                continue
+        problems.append(
+            f"{site}: armed but never fired — recovery no longer reaches "
+            "this site"
+        )
+    return manager.recover(), problems
+
+
 # -- sweep -----------------------------------------------------------------
 
 
@@ -424,7 +469,9 @@ class ChaosSweepResult:
         return [site.summary() for site in self.sites]
 
 
-def run_gateway_site(site: str, seed: int = 0) -> SiteResult:
+def run_gateway_site(
+    site: str, seed: int = 0, double_crash: bool = False
+) -> SiteResult:
     """Crash the gateway at one ``service.*`` site mid-queue and recover.
 
     A fresh deployment gets a gateway and ten clients (eight trickle
@@ -497,9 +544,20 @@ def run_gateway_site(site: str, seed: int = 0) -> SiteResult:
     )
     in_flight = len(gateway.requests_with_status("queued", "running"))
 
-    report = RecoveryManager(context, sto=warehouse.sto, strict=False).recover()
+    if double_crash:
+        report, recovery_problems = _recover_with_crashes(
+            context, warehouse.sto, seed
+        )
+        result.problems.extend(recovery_problems)
+    else:
+        report = RecoveryManager(
+            context, sto=warehouse.sto, strict=False
+        ).recover()
     result.recovery = report
-    if report.gateway_requests_scavenged != in_flight:
+    # Double-crash partial passes already scavenged before the final
+    # pass's report was taken, so the exact-count oracle only applies to
+    # the single-recovery mode; the stuck/queued checks below hold always.
+    if not double_crash and report.gateway_requests_scavenged != in_flight:
         result.problems.append(
             f"scavenge reconciled {report.gateway_requests_scavenged} "
             f"request(s), ledger had {in_flight} in flight"
@@ -560,10 +618,21 @@ def run_gateway_site(site: str, seed: int = 0) -> SiteResult:
     return result
 
 
-def run_site(site: str, seed: int = 0) -> SiteResult:
-    """Crash one fresh deployment at ``site``, recover, check invariants."""
+def run_site(site: str, seed: int = 0, double_crash: bool = False) -> SiteResult:
+    """Crash one fresh deployment at ``site``, recover, check invariants.
+
+    With ``double_crash`` the restart is crashed too: recovery is re-run
+    with each ``recovery.*`` site armed in turn (dying mid-pass every
+    time) before the final clean pass the invariants are checked against.
+    """
+    if site.startswith("recovery."):
+        raise ValueError(
+            f"{site} only fires inside a recovery pass; use double_crash "
+            "mode (--double-crash), which crashes recovery at every "
+            "recovery.* site"
+        )
     if site.startswith("service."):
-        return run_gateway_site(site, seed)
+        return run_gateway_site(site, seed, double_crash=double_crash)
     workload = ChaosWorkload(seed)
     warehouse = workload.warehouse
     context = warehouse.context
@@ -581,7 +650,15 @@ def run_site(site: str, seed: int = 0) -> SiteResult:
         workload.recorder.detach()
         return result
 
-    report = RecoveryManager(context, sto=warehouse.sto, strict=False).recover()
+    if double_crash:
+        report, recovery_problems = _recover_with_crashes(
+            context, warehouse.sto, seed
+        )
+        result.problems.extend(recovery_problems)
+    else:
+        report = RecoveryManager(
+            context, sto=warehouse.sto, strict=False
+        ).recover()
     result.recovery = report
     for path in report.missing_manifests:
         result.problems.append(
@@ -635,13 +712,20 @@ def run_site(site: str, seed: int = 0) -> SiteResult:
 
 
 def run_crash_sweep(
-    seed: int = 0, sites: Optional[Sequence[str]] = None
+    seed: int = 0,
+    sites: Optional[Sequence[str]] = None,
+    double_crash: bool = False,
 ) -> ChaosSweepResult:
-    """Crash at every registered site (or ``sites``) and verify recovery."""
-    targets = list(sites) if sites is not None else sorted(CRASHPOINTS)
+    """Crash at every workload-reachable site and verify recovery.
+
+    ``recovery.*`` sites are excluded from the default enumeration (they
+    only fire inside a recovery pass); pass ``double_crash=True`` to
+    additionally crash recovery itself at every one of them per site.
+    """
+    targets = list(sites) if sites is not None else list(WORKLOAD_SITES)
     result = ChaosSweepResult(seed=seed)
     for site in targets:
-        result.sites.append(run_site(site, seed))
+        result.sites.append(run_site(site, seed, double_crash=double_crash))
     return result
 
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.chaos.crashpoints import crashpoint
 from repro.common.errors import RecoveryError
 from repro.fe.context import ServiceContext
 from repro.sqldb import system_tables as catalog
@@ -112,13 +113,24 @@ class RecoveryManager:
         tel = context.telemetry
         report = RecoveryReport()
         with tel.span("recovery.run", "chaos"):
+            # Recovery is itself crash-re-entrant: a crashpoint between any
+            # two steps models the recovery process dying mid-pass, and a
+            # fresh pass must finish the job.  Every step is idempotent —
+            # re-resolving finds nothing in doubt, re-discarding finds no
+            # staged blocks, reconciliation and scavenges converge.
             self._resolve_in_doubt(report)
+            crashpoint("recovery.in_doubt.after_resolve")
             self._discard_staged_blocks(report)
+            crashpoint("recovery.staged.after_discard")
             self._reconcile_catalog(report)
+            crashpoint("recovery.catalog.after_reconcile")
             context.cache.invalidate()
             self._complete_publishes(report)
+            crashpoint("recovery.publish.after_complete")
             self._scavenge_gateway(report)
+            crashpoint("recovery.gateway.after_scavenge")
             self._scavenge_querystore(report)
+            crashpoint("recovery.querystore.after_scavenge")
             if self._sto is not None:
                 self._sto.rebind(context)
         if tel.metering:

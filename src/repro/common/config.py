@@ -79,6 +79,8 @@ class StoConfig:
     poll_interval_s: float = 30.0
     #: Retention period for removed files before GC deletes them (seconds).
     retention_period_s: float = 7 * 24 * 3600.0
+    #: How often the periodic integrity scrub audits every live blob.
+    scrub_interval_s: float = 12 * 3600.0
 
 
 @dataclass
@@ -238,6 +240,8 @@ class PolarisConfig:
                 raise ValueError(
                     f"storage.operation_failure_rates[{op!r}] must be in [0, 1]"
                 )
+        if self.sto.scrub_interval_s <= 0:
+            raise ValueError("sto.scrub_interval_s must be positive")
         if self.storage.retry_base_backoff_s < 0:
             raise ValueError("storage.retry_base_backoff_s must be >= 0")
         if self.storage.retry_jitter < 0 or self.storage.retry_jitter > 1:

@@ -56,6 +56,16 @@ class SchemaMismatchError(FileFormatError):
     """Rows or columns do not match the declared schema."""
 
 
+class IntegrityError(FileFormatError):
+    """A blob's bytes do not match its recorded checksum.
+
+    Raised by every verified read path instead of returning corrupt rows.
+    Unlike :class:`TransientStorageError` it is *not* retryable in place —
+    re-reading the same corrupt blob yields the same bytes — so the retry
+    loop re-raises it immediately and the scrubber handles repair.
+    """
+
+
 # --------------------------------------------------------------------------
 # SQL DB catalog engine
 # --------------------------------------------------------------------------

@@ -26,8 +26,7 @@ from repro.common.errors import PolarisError
 from repro.engine.batch import Batch
 from repro.fe.context import ServiceContext
 from repro.fe.transaction import PolarisTransaction
-from repro.fe.write_path import _load_dv
-from repro.pagefile.reader import PageFileReader
+from repro.fe.write_path import _load_dv, _open_data_file
 
 
 class UniqueConstraintViolation(PolarisError):
@@ -64,7 +63,7 @@ def check_unique(
         bounds = info.stats_for(column)
         if bounds is not None and (bounds[1] < lo or bounds[0] > hi):
             continue  # zone maps prove no overlap
-        reader = PageFileReader(context.store.get(info.path).data)
+        reader = _open_data_file(context, info)
         existing = reader.read(
             columns=[column],
             deletion_vector=_load_dv(context, snapshot.dv_for(info.name)),

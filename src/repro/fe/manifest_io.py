@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from repro.common.errors import BlobNotFoundError
+from repro.common.errors import BlobNotFoundError, IntegrityError
 from repro.lst.actions import Action
 from repro.lst.cache import SnapshotCache
 from repro.lst.checkpoint import Checkpoint
@@ -82,7 +82,11 @@ def make_snapshot_cache(context: "ServiceContext") -> SnapshotCache:
                 config=context.config.storage,
                 seed=context.config.seed,
             )
-        except BlobNotFoundError:
+        except (BlobNotFoundError, IntegrityError):
+            # Checkpoints are an acceleration, not a source of truth: a
+            # missing *or corrupt* checkpoint degrades to manifest replay
+            # (detection was already counted by the store); the scrubber
+            # quarantines and re-materializes it out of band.
             return None
         return Checkpoint.from_bytes(blob.data).snapshot
 

@@ -34,9 +34,8 @@ from repro.fe.catalog import describe_table
 from repro.fe.context import ServiceContext
 from repro.fe.timetravel import snapshot_as_of
 from repro.fe.transaction import PolarisTransaction
-from repro.fe.write_path import _load_dv
+from repro.fe.write_path import _load_dv, _open_data_file
 from repro.lst.snapshot import TableSnapshot
-from repro.pagefile.reader import PageFileReader
 
 
 def scan_table(
@@ -98,7 +97,7 @@ def scan_table(
         def scan_cell(ctx: TaskContext, cell=cell) -> Batch:
             parts: List[Batch] = []
             for info in cell.files:
-                reader = PageFileReader(context.store.get(info.path).data)
+                reader = _open_data_file(context, info)
                 if report is not None:
                     scanned_groups, pruned_groups = reader.prune_counts(prune)
                     report["row_groups"] += scanned_groups

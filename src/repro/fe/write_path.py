@@ -51,6 +51,7 @@ from repro.pagefile.reader import PageFileReader
 from repro.pagefile.schema import Schema
 from repro.pagefile.stats import compute_stats
 from repro.storage import paths
+from repro.storage.integrity import CHECKSUM_KEY, verify_checksum
 
 
 # -- shared helpers -------------------------------------------------------------
@@ -93,7 +94,7 @@ def _write_data_file(
     data = write_page_file(
         schema, columns, row_group_size=context.config.row_group_size
     )
-    context.store.put(path, data, metadata=_file_stamp(txn))
+    blob = context.store.put(path, data, metadata=_file_stamp(txn))
     return DataFileInfo(
         name=name,
         path=path,
@@ -101,6 +102,7 @@ def _write_data_file(
         size_bytes=len(data),
         distribution=distribution,
         column_stats=_file_column_stats(schema, columns),
+        checksum=blob.metadata.get(CHECKSUM_KEY, ""),
     )
 
 
@@ -127,14 +129,29 @@ def _write_dv_file(
     name = context.guids.next() + ".rdv"
     path = paths.dv_file_path(context.database, table_id, name)
     data = vector.to_bytes()
-    context.store.put(path, data, metadata=_file_stamp(txn))
+    blob = context.store.put(path, data, metadata=_file_stamp(txn))
     return DeletionVectorInfo(
         name=name,
         path=path,
         target_file=target_file,
         cardinality=vector.cardinality,
         size_bytes=len(data),
+        checksum=blob.metadata.get(CHECKSUM_KEY, ""),
     )
+
+
+def _open_data_file(context: ServiceContext, info: DataFileInfo) -> PageFileReader:
+    """Open one data file with both verification layers applied.
+
+    The store's ``get`` verifies the blob against its own metadata
+    checksum; the cross-check here verifies against the manifest's
+    mirrored checksum (catching a swapped blob whose metadata was
+    rewritten); and the reader gets the blob path so format errors are
+    self-describing.
+    """
+    blob = context.store.get(info.path)
+    verify_checksum(info.path, blob.data, info.checksum, telemetry=context.telemetry)
+    return PageFileReader(blob.data, source=info.path)
 
 
 def _load_dv(
@@ -142,7 +159,12 @@ def _load_dv(
 ) -> Optional[DeletionVector]:
     if info is None:
         return None
-    return DeletionVector.from_bytes(context.store.get(info.path).data)
+    blob = context.store.get(info.path)
+    # Cross-check against the manifest's mirrored checksum: the store's own
+    # metadata already verified, but a swapped blob would pass that and
+    # fail here.
+    verify_checksum(info.path, blob.data, info.checksum, telemetry=context.telemetry)
+    return DeletionVector.from_bytes(blob.data)
 
 
 def _resize_write_pool(context: ServiceContext, rows: int, source_files: int) -> None:
@@ -343,7 +365,7 @@ def _execute_mutation(
             for info in cell.files:
                 if prune_list and not info.may_match(tuple(prune_list)):
                     continue
-                reader = PageFileReader(context.store.get(info.path).data)
+                reader = _open_data_file(context, info)
                 existing_info = snapshot.dv_for(info.name)
                 existing_dv = _load_dv(context, existing_info)
                 batch = reader.read(

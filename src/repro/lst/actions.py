@@ -34,6 +34,11 @@ class DataFileInfo:
     #: statistics, and what makes the partitioning function p(r) of
     #: Section 2.3 pay off for range retrieval.
     column_stats: Tuple[Tuple[str, Any, Any], ...] = ()
+    #: crc32 checksum of the file's bytes as written (``crc32:xxxxxxxx``),
+    #: mirrored from the blob metadata so the manifest is an independent
+    #: witness: a swapped or rotted blob fails the cross-check even if its
+    #: own metadata was rewritten.  Empty for pre-checksum manifests.
+    checksum: str = ""
 
     def stats_for(self, column: str) -> "Tuple[Any, Any] | None":
         """(min, max) recorded for ``column``, or None."""
@@ -66,6 +71,7 @@ class DataFileInfo:
             "size_bytes": self.size_bytes,
             "distribution": self.distribution,
             "column_stats": [list(entry) for entry in self.column_stats],
+            "checksum": self.checksum,
         }
 
     @classmethod
@@ -81,6 +87,7 @@ class DataFileInfo:
                 (entry[0], entry[1], entry[2])
                 for entry in raw.get("column_stats", ())
             ),
+            checksum=raw.get("checksum", ""),
         )
 
 
@@ -98,6 +105,10 @@ class DeletionVectorInfo:
     cardinality: int
     #: Size of the DV file in bytes.
     size_bytes: int
+    #: crc32 checksum of the DV file's bytes as written, mirrored from the
+    #: blob metadata (see :attr:`DataFileInfo.checksum`).  Empty for
+    #: pre-checksum manifests.
+    checksum: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (manifest wire format)."""
@@ -107,6 +118,7 @@ class DeletionVectorInfo:
             "target_file": self.target_file,
             "cardinality": self.cardinality,
             "size_bytes": self.size_bytes,
+            "checksum": self.checksum,
         }
 
     @classmethod
@@ -118,6 +130,7 @@ class DeletionVectorInfo:
             target_file=raw["target_file"],
             cardinality=raw["cardinality"],
             size_bytes=raw["size_bytes"],
+            checksum=raw.get("checksum", ""),
         )
 
 

@@ -143,13 +143,27 @@ def write_page_file(
     return bytes(body)
 
 
-def read_footer(data: bytes) -> PageFile:
-    """Parse the footer of page-file bytes into a :class:`PageFile`."""
+def read_footer(data: bytes, source: "str | None" = None) -> PageFile:
+    """Parse the footer of page-file bytes into a :class:`PageFile`.
+
+    ``source`` (the blob path, when the caller knows it) is woven into
+    error messages so corrupt-file reports are self-describing — a
+    scrubber or quarantine log names the exact blob, not just "a file".
+    """
+    origin = f"{source}: " if source else ""
     if len(data) < 12 or data[:4] != MAGIC or data[-4:] != MAGIC:
-        raise FileFormatError("not a page file (bad magic)")
+        head = bytes(data[:4])
+        tail = bytes(data[-4:]) if len(data) >= 4 else b""
+        raise FileFormatError(
+            f"{origin}not a page file (bad magic: expected {MAGIC!r} at both "
+            f"ends, got head {head!r} / tail {tail!r} over {len(data)} bytes)"
+        )
     (footer_len,) = struct.unpack_from("<I", data, len(data) - 8)
     footer_start = len(data) - 8 - footer_len
     if footer_start < 4:
-        raise FileFormatError("corrupt page file footer")
+        raise FileFormatError(
+            f"{origin}corrupt page file footer (footer length {footer_len} "
+            f"exceeds file size {len(data)})"
+        )
     raw = json.loads(data[footer_start : footer_start + footer_len].decode("utf-8"))
     return PageFile.from_footer_dict(raw)

@@ -19,9 +19,9 @@ class PageFileReader:
     statistics prove no row can match.
     """
 
-    def __init__(self, data: bytes) -> None:
+    def __init__(self, data: bytes, source: Optional[str] = None) -> None:
         self._data = data
-        self._meta = read_footer(data)
+        self._meta = read_footer(data, source=source)
 
     @property
     def meta(self) -> PageFile:

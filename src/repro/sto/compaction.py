@@ -25,10 +25,9 @@ from repro.engine.statistics import file_health
 from repro.fe.catalog import table_schema
 from repro.fe.context import ServiceContext
 from repro.fe.transaction import PolarisTransaction
-from repro.fe.write_path import _load_dv, _write_data_file
+from repro.fe.write_path import _load_dv, _open_data_file, _write_data_file
 from repro.lst.actions import Action, AddDataFile, RemoveDataFile
 from repro.lst.manifest import encode_actions
-from repro.pagefile.reader import PageFileReader
 from repro.sqldb import system_tables as catalog
 
 
@@ -108,7 +107,7 @@ def _compact_in_txn(
             actions: List[Action] = []
             parts: List[Batch] = []
             for info in infos:
-                reader = PageFileReader(context.store.get(info.path).data)
+                reader = _open_data_file(context, info)
                 dv = _load_dv(context, snapshot.dv_for(info.name))
                 live = reader.read(deletion_vector=dv)
                 if num_rows(live):

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from repro.fe.context import ServiceContext
 from repro.storage import paths
+from repro.storage.integrity import CHECKSUM_KEY, verify_checksum
 
 
 @dataclass
@@ -44,6 +45,15 @@ def read_published_table(
         return None
     state = DeltaTableState()
     for blob in logs:
+        # Listing serves blob records directly (no per-blob ``get``), so
+        # this external-reader path carries its own verification: a rotted
+        # log entry must never silently drop table files.
+        verify_checksum(
+            blob.path,
+            blob.data,
+            blob.metadata.get(CHECKSUM_KEY),
+            telemetry=context.telemetry,
+        )
         state.versions_read += 1
         for line in blob.data.decode("utf-8").splitlines():
             if not line.strip():

@@ -32,6 +32,8 @@ class StorageHealthMonitor:
         self._latest: Dict[int, TableStats] = {}
         self._healthy: Dict[int, bool] = {}
         self.timeline: List[HealthTransition] = []
+        #: table_id -> paths with unrepairable integrity loss (table RED).
+        self._integrity: Dict[int, List[str]] = {}
 
     def observe(self, stats: TableStats, at: float) -> None:
         """Record a statistics observation; log a transition on change."""
@@ -65,3 +67,25 @@ class StorageHealthMonitor:
     def transitions_for(self, table_id: int) -> List[HealthTransition]:
         """The health timeline of one table."""
         return [t for t in self.timeline if t.table_id == table_id]
+
+    # -- integrity degradation (set by the scrubber) -------------------------
+
+    def flag_integrity(self, table_id: int, path: str) -> None:
+        """Record unrepairable data loss for a table (degrades it to RED).
+
+        Only the affected table degrades; readers of other tables are
+        untouched — the scrubber never raises out of its pass.
+        """
+        self._integrity.setdefault(table_id, []).append(path)
+
+    def clear_integrity(self, table_id: int) -> None:
+        """Lift a table's integrity degradation (after manual repair)."""
+        self._integrity.pop(table_id, None)
+
+    def integrity_compromised(self, table_id: int) -> bool:
+        """Whether the table carries unrepairable integrity loss."""
+        return table_id in self._integrity
+
+    def integrity_paths(self, table_id: int) -> List[str]:
+        """The paths whose loss degraded this table (empty when intact)."""
+        return list(self._integrity.get(table_id, ()))

@@ -32,6 +32,7 @@ from repro.sto.gc import GcReport, run_garbage_collection
 from repro.sto.health import StorageHealthMonitor
 from repro.sto.publisher import DeltaPublisher
 from repro.sto.publisher_iceberg import IcebergPublisher
+from repro.sto.scrubber import ScrubReport, run_scrub
 
 
 class SystemTaskOrchestrator:
@@ -48,6 +49,7 @@ class SystemTaskOrchestrator:
         self.compactions: List[CompactionResult] = []
         self.checkpoints: List[CheckpointResult] = []
         self.gc_reports: List[GcReport] = []
+        self.scrub_reports: List[ScrubReport] = []
         #: Publish committed manifests automatically.
         self.auto_publish = False
         #: Formats to publish in: Delta today (as in the paper), Iceberg as
@@ -243,6 +245,47 @@ class SystemTaskOrchestrator:
             tel.metrics.counter("sto.gc_files_deleted").inc(report.deleted_total)
         self.gc_reports.append(report)
         return report
+
+    def run_scrub(self) -> ScrubReport:
+        """Audit the deployment's blob integrity now (quarantine + repair)."""
+        tel = self._context.telemetry
+        with tel.span("sto.scrub", "sto"):
+            report = run_scrub(self._context, self.health)
+        if tel.metering:
+            tel.metrics.counter("storage.integrity_blobs_verified").inc(
+                report.blobs_verified
+            )
+            tel.metrics.counter("storage.integrity_quarantined").inc(
+                report.quarantined
+            )
+            tel.metrics.counter("storage.integrity_repaired").inc(
+                report.repaired
+            )
+            tel.metrics.counter("storage.integrity_unrepairable").inc(
+                report.unrepairable
+            )
+        self.scrub_reports.append(report)
+        return report
+
+    def schedule_periodic_scrub(self, interval_s: Optional[float] = None) -> None:
+        """Run an integrity scrub every ``interval_s`` of simulated time.
+
+        Same re-arming watcher mechanism as :meth:`schedule_periodic_gc`;
+        the default cadence comes from ``config.sto.scrub_interval_s``.
+        """
+        interval = (
+            interval_s
+            if interval_s is not None
+            else self._context.config.sto.scrub_interval_s
+        )
+        clock = self._context.clock
+
+        def fire(now: float) -> None:
+            if self.enabled and not self._busy:
+                self.run_scrub()
+            clock.call_at(now + interval, fire)
+
+        clock.call_at(clock.now + interval, fire)
 
     @property
     def pending_compactions(self) -> Dict[int, float]:

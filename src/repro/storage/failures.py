@@ -10,22 +10,41 @@ counted failures matched by path substring — fail the next N matching
 requests, one-shot being the N=1 default.  Every injected fault bumps
 :attr:`FaultInjector.injected`, which the object store mirrors into the
 ``storage.faults_injected`` telemetry counter.
+
+Beyond transient request failure, the injector arms *corruption* faults
+(:data:`CORRUPTION_KINDS`): bit-flip, torn-write (a strict prefix of the
+payload persists), and stale-read (the previous version of the blob is
+served once).  These do not raise — they hand the object store wrong
+bytes, which is exactly the failure checksums exist to catch.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.common.config import StorageConfig
 from repro.common.errors import TransientStorageError
+
+#: The corruption fault classes :meth:`FaultInjector.arm_corruption` accepts.
+CORRUPTION_KINDS = ("bit_flip", "torn_write", "stale_read")
 
 
 @dataclass
 class _ArmedFault:
     """One armed targeted failure: match pattern plus remaining budget."""
 
+    path_substring: str
+    operation: str | None
+    remaining: int
+
+
+@dataclass
+class _ArmedCorruption:
+    """One armed corruption: kind, match pattern, remaining budget."""
+
+    kind: str
     path_substring: str
     operation: str | None
     remaining: int
@@ -38,9 +57,14 @@ class FaultInjector:
         self._rate = config.transient_failure_rate
         self._operation_rates = dict(config.operation_failure_rates)
         self._rng = random.Random(config.failure_seed)
+        self._seed = config.failure_seed
         self._armed: List[_ArmedFault] = []
+        self._armed_corruptions: List[_ArmedCorruption] = []
+        self._corruption_nonce = 0
         #: Total faults injected so far (armed + random).
         self.injected = 0
+        #: Total corruption faults applied so far.
+        self.corrupted = 0
 
     def arm(
         self,
@@ -56,10 +80,90 @@ class FaultInjector:
             raise ValueError("count must be >= 1")
         self._armed.append(_ArmedFault(path_substring, operation, count))
 
+    def arm_corruption(
+        self,
+        kind: str,
+        path_substring: str,
+        operation: str | None = None,
+        count: int = 1,
+    ) -> None:
+        """Arm a corruption: the next ``count`` matching requests get bad bytes.
+
+        ``kind`` is one of :data:`CORRUPTION_KINDS`.  ``stale_read`` only
+        makes sense on the read path, so it must be armed for ``get``.
+        Corruptions armed on write operations (``put`` /
+        ``commit_block_list``) are *persisted* — they model at-rest rot the
+        scrubber must find; corruptions on ``get`` are a transient wrong
+        view of an intact blob.
+        """
+        if kind not in CORRUPTION_KINDS:
+            raise ValueError(
+                f"unknown corruption kind {kind!r}; expected one of "
+                f"{CORRUPTION_KINDS}"
+            )
+        if kind == "stale_read" and operation not in (None, "get"):
+            raise ValueError("stale_read corruption only applies to 'get'")
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if kind == "stale_read":
+            operation = "get"
+        self._armed_corruptions.append(
+            _ArmedCorruption(kind, path_substring, operation, count)
+        )
+
+    def corruption_for(self, operation: str, path: str) -> Optional[str]:
+        """Consume and return the armed corruption kind for this request.
+
+        Returns ``None`` (the overwhelmingly common case) when no armed
+        corruption matches.  Matching consumes one unit of the armed
+        budget and bumps :attr:`corrupted`, mirroring how transient faults
+        bump :attr:`injected`.
+        """
+        for index, fault in enumerate(self._armed_corruptions):
+            op_matches = fault.operation is None or fault.operation == operation
+            if fault.path_substring in path and op_matches:
+                fault.remaining -= 1
+                if fault.remaining <= 0:
+                    del self._armed_corruptions[index]
+                self.corrupted += 1
+                return fault.kind
+        return None
+
+    def corrupt_payload(self, kind: str, path: str, data: bytes) -> bytes:
+        """Deterministically damage ``data`` according to ``kind``.
+
+        The damage PRNG is seeded from the injector seed, the path, and a
+        per-call nonce, so a given run is exactly repeatable while repeated
+        corruptions of the same path still differ.  ``stale_read`` is not a
+        payload transform (the store serves the previous version instead)
+        and is rejected here.
+        """
+        if kind == "stale_read":
+            raise ValueError("stale_read is applied by the store, not here")
+        self._corruption_nonce += 1
+        rng = random.Random(f"{self._seed}:corrupt:{path}:{self._corruption_nonce}")
+        if kind == "bit_flip":
+            if not data:
+                return data
+            damaged = bytearray(data)
+            position = rng.randrange(len(damaged))
+            damaged[position] ^= 1 << rng.randrange(8)
+            return bytes(damaged)
+        if kind == "torn_write":
+            # A strict prefix: at least zero, strictly fewer than all bytes.
+            keep = rng.randrange(len(data)) if data else 0
+            return data[:keep]
+        raise ValueError(f"unknown corruption kind {kind!r}")
+
     @property
     def armed_remaining(self) -> int:
         """Total failures still armed across all patterns."""
         return sum(fault.remaining for fault in self._armed)
+
+    @property
+    def armed_corruptions_remaining(self) -> int:
+        """Total corruptions still armed across all patterns."""
+        return sum(fault.remaining for fault in self._armed_corruptions)
 
     def quiesce(self) -> None:
         """Stop all randomized injection (armed counted faults persist).

@@ -1,0 +1,57 @@
+"""Blob checksums: the detection half of the integrity subsystem.
+
+Every blob written through :class:`~repro.storage.object_store.ObjectStore`
+carries a crc32 checksum in its metadata (``checksum`` key), computed over
+the payload *as handed to the store* — so bytes corrupted at rest or in
+flight can never match.  Read paths call :func:`verify_checksum` and raise
+:class:`~repro.common.errors.IntegrityError` instead of serving wrong rows;
+the scrubber (:mod:`repro.sto.scrubber`) uses the same primitive to audit
+blobs in place.
+
+crc32 is deliberate: the threat model is accidental corruption (bit rot,
+torn writes, stale replicas), not an adversary, and the whole store is
+in-process — a word-sized checksum keeps verification free enough to run
+on every read.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import IntegrityError
+
+if TYPE_CHECKING:
+    from repro.telemetry.facade import Telemetry
+
+#: Metadata key under which every blob's checksum is stored.
+CHECKSUM_KEY = "checksum"
+
+
+def compute_checksum(data: bytes) -> str:
+    """The canonical checksum string for a payload (``crc32:xxxxxxxx``)."""
+    return f"crc32:{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+def verify_checksum(
+    path: str,
+    data: bytes,
+    expected: Optional[str],
+    telemetry: "Optional[Telemetry]" = None,
+) -> None:
+    """Verify ``data`` against ``expected``; raise on mismatch.
+
+    A falsy ``expected`` (legacy blob without a checksum) verifies
+    trivially — detection requires a recorded checksum.  On mismatch the
+    violation is counted in telemetry (when provided) and
+    :class:`IntegrityError` is raised with a self-describing message.
+    """
+    if not expected:
+        return
+    actual = compute_checksum(data)
+    if actual == expected:
+        return
+    detail = f"expected {expected}, got {actual}"
+    if telemetry is not None:
+        telemetry.integrity_violation(path, detail)
+    raise IntegrityError(f"{path}: checksum mismatch ({detail})")

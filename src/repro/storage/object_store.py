@@ -10,7 +10,13 @@ protocol relies on:
 * per-blob creation timestamps and creator metadata, which the garbage
   collector uses to distinguish orphans of aborted transactions from files
   of in-flight transactions (Section 5.3 of the paper);
-* a latency model and fault injector shared by all requests.
+* a latency model and fault injector shared by all requests;
+* end-to-end integrity: every blob carries a crc32 checksum computed over
+  the payload as written (:mod:`repro.storage.integrity`), armed
+  corruption faults (bit-flip, torn-write, stale-read) hand readers wrong
+  bytes, and :meth:`ObjectStore.get` verifies every served payload so a
+  corrupt blob raises :class:`~repro.common.errors.IntegrityError` instead
+  of returning bad rows.
 """
 
 from __future__ import annotations
@@ -28,7 +34,13 @@ from repro.common.errors import (
     EtagMismatchError,
     TransientStorageError,
 )
+from repro.storage import paths
 from repro.storage.failures import FaultInjector
+from repro.storage.integrity import (
+    CHECKSUM_KEY,
+    compute_checksum,
+    verify_checksum,
+)
 from repro.storage.latency import LatencyModel
 from repro.storage.metering import IoMeter
 
@@ -86,6 +98,8 @@ class ObjectStore:
             self._latency.on_charge = telemetry.latency_charged
         self._blobs: Dict[str, Blob] = {}
         self._blocks: Dict[str, _BlockState] = {}
+        #: Previous payload of each overwritten path, for stale-read faults.
+        self._previous: Dict[str, bytes] = {}
         self._etag_counter = 0
 
     def _check(self, operation: str, path: str) -> None:
@@ -150,29 +164,80 @@ class ObjectStore:
 
         Raises :class:`BlobAlreadyExistsError` if the path exists, unless
         ``overwrite`` is set (used only for republishing metadata files).
+        The blob's checksum is computed over ``data`` as handed in — an
+        armed write-side corruption persists *after* the checksum is
+        stamped, exactly like at-rest rot under a real object store.
         """
         self._check("put", path)
         self._account("put", path, written_bytes=len(data), transfer_bytes=len(data))
-        if path in self._blobs and not overwrite:
+        existing = self._blobs.get(path)
+        if existing is not None and not overwrite:
             raise BlobAlreadyExistsError(path)
+        meta = dict(metadata or {})
+        meta.setdefault(CHECKSUM_KEY, compute_checksum(data))
+        stored = self._apply_write_corruption("put", path, data)
+        if existing is not None:
+            self._previous[path] = existing.data
         blob = Blob(
             path=path,
-            data=data,
+            data=stored,
             etag=self._next_etag(),
             created_at=self.clock.now,
-            metadata=dict(metadata or {}),
+            metadata=meta,
         )
         self._blobs[path] = blob
         return blob
 
     def get(self, path: str) -> Blob:
-        """Fetch a committed blob; raises :class:`BlobNotFoundError`."""
+        """Fetch a committed blob; raises :class:`BlobNotFoundError`.
+
+        Every served payload is verified against the blob's recorded
+        checksum — corrupt bytes (at rest or injected on this read) raise
+        :class:`~repro.common.errors.IntegrityError` rather than being
+        returned.  A stale-read fault with no previous version to serve
+        degrades to :class:`TransientStorageError` (the request sees "not
+        yet visible" and retries harmlessly).
+        """
         self._check("get", path)
         blob = self._blobs.get(path)
         if blob is None:
             raise BlobNotFoundError(path)
-        self._account("get", path, read_bytes=blob.size, transfer_bytes=blob.size)
-        return blob
+        served = blob
+        kind = self.faults.corruption_for("get", path)
+        if kind is not None:
+            if self.telemetry is not None:
+                self.telemetry.integrity_corruption(kind, "get", path)
+            if kind == "stale_read":
+                previous = self._previous.get(path)
+                if previous is None:
+                    raise TransientStorageError(
+                        f"stale read: {path} not yet visible on this replica"
+                    )
+                # The stale payload under the *current* metadata: the
+                # checksum mismatch below is what detection looks like.
+                served = Blob(
+                    path=blob.path,
+                    data=previous,
+                    etag=blob.etag,
+                    created_at=blob.created_at,
+                    metadata=blob.metadata,
+                )
+            else:
+                served = Blob(
+                    path=blob.path,
+                    data=self.faults.corrupt_payload(kind, path, blob.data),
+                    etag=blob.etag,
+                    created_at=blob.created_at,
+                    metadata=blob.metadata,
+                )
+        self._account("get", path, read_bytes=served.size, transfer_bytes=served.size)
+        verify_checksum(
+            path,
+            served.data,
+            served.metadata.get(CHECKSUM_KEY),
+            telemetry=self.telemetry,
+        )
+        return served
 
     def head(self, path: str) -> Blob:
         """Fetch blob metadata without charging a transfer cost."""
@@ -199,6 +264,7 @@ class ObjectStore:
             raise EtagMismatchError(path)
         del self._blobs[path]
         self._blocks.pop(path, None)
+        self._previous.pop(path, None)
 
     def list(self, prefix: str = "") -> Iterator[Blob]:
         """Iterate committed blobs whose path starts with ``prefix``."""
@@ -261,12 +327,19 @@ class ObjectStore:
         data = b"".join(new_committed[block_id] for block_id in block_ids)
         self._account("commit_block_list", path)
         existing = self._blobs.get(path)
+        meta = dict(metadata or (existing.metadata if existing else {}))
+        # Recommits change the content, so the checksum is always
+        # recomputed (never inherited from the previous commit).
+        meta[CHECKSUM_KEY] = compute_checksum(data)
+        stored = self._apply_write_corruption("commit_block_list", path, data)
+        if existing is not None:
+            self._previous[path] = existing.data
         blob = Blob(
             path=path,
-            data=data,
+            data=stored,
             etag=self._next_etag(),
             created_at=existing.created_at if existing else self.clock.now,
-            metadata=dict(metadata or (existing.metadata if existing else {})),
+            metadata=meta,
         )
         self._blobs[path] = blob
         return blob
@@ -301,7 +374,97 @@ class ObjectStore:
         self._account("discard_staged", path)
         return count
 
+    # -- integrity management ops -------------------------------------------
+    #
+    # Like :meth:`discard_staged`, these are management operations used by
+    # the scrubber and tests — not subject to fault injection, so the
+    # auditor never fights the chaos it is auditing.
+
+    def verify(self, path: str, expected: Optional[str] = None) -> Optional[str]:
+        """Audit one blob in place; returns a problem string or ``None``.
+
+        ``"missing"`` when no blob exists at ``path``; a checksum-mismatch
+        description when the stored bytes do not match the recorded
+        checksum; ``None`` when the blob is intact (or carries no checksum
+        to check).  ``expected`` is an independently recorded checksum
+        (e.g. mirrored into a manifest entry at commit time) checked *in
+        addition* to the blob's own metadata — it catches a blob swapped
+        wholesale for a different, internally consistent one.  Never raises
+        and never mutates.
+        """
+        blob = self._blobs.get(path)
+        if blob is None:
+            return "missing"
+        self._account("verify", path, read_bytes=blob.size)
+        actual = compute_checksum(blob.data)
+        recorded = blob.metadata.get(CHECKSUM_KEY)
+        if recorded and actual != recorded:
+            return f"checksum mismatch (expected {recorded}, got {actual})"
+        if expected and actual != expected:
+            return (
+                f"checksum mismatch (manifest records {expected}, "
+                f"blob carries {actual})"
+            )
+        return None
+
+    def damage(self, path: str, kind: str = "bit_flip") -> None:
+        """Corrupt a stored blob in place (test hook for at-rest rot).
+
+        The recorded checksum is left untouched, so the next verified read
+        or scrub detects the damage.  Raises :class:`BlobNotFoundError`
+        for a missing path.
+        """
+        blob = self._blobs.get(path)
+        if blob is None:
+            raise BlobNotFoundError(path)
+        blob.data = self.faults.corrupt_payload(kind, path, blob.data)
+        if self.telemetry is not None:
+            self.telemetry.integrity_corruption(kind, "damage", path)
+
+    def quarantine(self, path: str) -> str:
+        """Move a corrupt blob into the quarantine namespace; returns its new path.
+
+        The blob is never deleted: its bytes move to
+        ``quarantine/<original path>`` for forensics, with the original
+        checksum preserved as ``original_checksum`` and a fresh checksum
+        over the (corrupt) bytes so forensic reads do not themselves raise.
+        Block state and stale-read history for the path are dropped.
+        Raises :class:`BlobNotFoundError` for a missing path.
+        """
+        blob = self._blobs.pop(path, None)
+        if blob is None:
+            raise BlobNotFoundError(path)
+        self._blocks.pop(path, None)
+        self._previous.pop(path, None)
+        target = paths.quarantine_path(path)
+        meta = dict(blob.metadata)
+        original = meta.pop(CHECKSUM_KEY, "")
+        if original:
+            meta["original_checksum"] = original
+        meta["quarantined_from"] = path
+        meta[CHECKSUM_KEY] = compute_checksum(blob.data)
+        self._account("quarantine", path, written_bytes=blob.size)
+        self._blobs[target] = Blob(
+            path=target,
+            data=blob.data,
+            etag=self._next_etag(),
+            created_at=blob.created_at,
+            metadata=meta,
+        )
+        return target
+
     # -- internals ----------------------------------------------------------
+
+    def _apply_write_corruption(
+        self, operation: str, path: str, data: bytes
+    ) -> bytes:
+        """Persist an armed write-side corruption (at-rest rot), if any."""
+        kind = self.faults.corruption_for(operation, path)
+        if kind is None:
+            return data
+        if self.telemetry is not None:
+            self.telemetry.integrity_corruption(kind, operation, path)
+        return self.faults.corrupt_payload(kind, path, data)
 
     def _next_etag(self) -> int:
         self._etag_counter += 1

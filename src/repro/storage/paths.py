@@ -33,6 +33,17 @@ def checkpoint_path(database: str, table_id: int, sequence_id: int) -> str:
     return f"{table_root(database, table_id)}/_checkpoints/{sequence_id:012d}.checkpoint.json"
 
 
+def quarantine_path(path: str) -> str:
+    """Quarantine location of a corrupt blob (outside every scanned root).
+
+    The ``quarantine/`` namespace sits beside ``internal/`` and
+    ``published/`` so neither garbage collection nor recovery's catalog
+    reconciliation ever walks it: quarantined blobs are kept for forensics,
+    never deleted, never served.
+    """
+    return f"quarantine/{path}"
+
+
 def published_root(database: str, table_name: str) -> str:
     """User-accessible location where Delta-format snapshots are published."""
     return f"published/{database}/{table_name}"

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Callable, Optional, TypeVar
 
 from repro.common.clock import SimulatedClock
 from repro.common.config import StorageConfig
-from repro.common.errors import TransientStorageError
+from repro.common.errors import IntegrityError, TransientStorageError
 
 if TYPE_CHECKING:
     from repro.telemetry.facade import Telemetry
@@ -83,12 +83,19 @@ def with_retries(
     :func:`backoff_schedule`, parameterized by ``config``/``seed``) is
     charged as simulated time; without one the retries are immediate but
     the would-be backoff is still recorded in telemetry.
+
+    :class:`~repro.common.errors.IntegrityError` is explicitly *not*
+    retryable in place: re-reading a corrupt blob yields the same corrupt
+    bytes, so it propagates immediately for the scrubber to repair.
     """
     delays = backoff_schedule(attempts, config, seed, label)
     last: TransientStorageError | None = None
     for attempt in range(1, attempts + 1):
         try:
             result = operation()
+        except IntegrityError:
+            # Non-retryable: the same bytes come back on every attempt.
+            raise
         except TransientStorageError as exc:
             last = exc
             backoff_s = delays[attempt - 1]

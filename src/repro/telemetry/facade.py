@@ -193,6 +193,26 @@ class Telemetry:
         if self.tracing:
             self.tracer.add_event("storage.fault", op=operation, path=path)
 
+    def integrity_corruption(self, kind: str, operation: str, path: str) -> None:
+        """Account one injected corruption fault (wrong bytes, no error)."""
+        if self.metering:
+            self.metrics.counter(
+                "storage.integrity_corruptions_injected", kind=kind, op=operation
+            ).inc()
+        if self.tracing:
+            self.tracer.add_event(
+                "storage.corruption", kind=kind, op=operation, path=path
+            )
+
+    def integrity_violation(self, path: str, detail: str) -> None:
+        """Account one detected checksum mismatch (a corrupt read caught)."""
+        if self.metering:
+            self.metrics.counter("storage.integrity_errors").inc()
+        if self.tracing:
+            self.tracer.add_event(
+                "storage.integrity_violation", path=path, detail=detail
+            )
+
     def latency_charged(self, operation: str, cost: float, charged: bool) -> None:
         """Account simulated time from ``LatencyModel.charge``.
 

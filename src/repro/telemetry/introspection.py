@@ -13,6 +13,8 @@ Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
                             reconciled against the engine's active registry.
 ``sys.dm_storage_health``   Per-table GREEN/YELLOW/RED, file quality, live
                             deletion-vector counts.
+``sys.dm_storage_integrity``  Every corrupt blob found by scrub passes:
+                            problem, quarantine location, repair outcome.
 ``sys.dm_checkpoints``      The ``Checkpoints`` catalog rows, with names.
 ``sys.dm_store_operations`` Per-operation object-store request statistics.
 ``sys.dm_recovery_history`` One row per completed recovery pass.
@@ -42,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.common.errors import PolarisError
 from repro.engine.statistics import collect_stats
 from repro.pagefile.schema import Schema
 from repro.sqldb import system_tables as syscat
@@ -208,6 +211,19 @@ class Introspector:
                 ("pending_compaction", "bool"),
             ),
             "_dm_storage_health",
+        ),
+        "sys.dm_storage_integrity": (
+            Schema.of(
+                ("table_id", "int64"),
+                ("table_name", "string"),
+                ("path", "string"),
+                ("kind", "string"),
+                ("problem", "string"),
+                ("action", "string"),
+                ("quarantine_path", "string"),
+                ("at", "float64"),
+            ),
+            "_dm_storage_integrity",
         ),
         "sys.dm_checkpoints": (
             Schema.of(
@@ -432,17 +448,43 @@ class Introspector:
         pending = (
             self._sto.pending_compactions if self._sto is not None else {}
         )
+        health = self._sto.health if self._sto is not None else None
         trigger = context.config.sto.compaction_trigger_fraction
         rows = []
         for table in sorted(tables, key=lambda t: t["table_id"]):
             table_id = table["table_id"]
-            snapshot = context.cache.get(
-                table_id, context.sqldb.last_commit_seq
+            compromised = health is not None and health.integrity_compromised(
+                table_id
             )
+            try:
+                snapshot = context.cache.get(
+                    table_id, context.sqldb.last_commit_seq
+                )
+            except PolarisError:
+                # Unrepairable metadata loss: the snapshot cannot even be
+                # reconstructed, so surface the table RED with no stats
+                # rather than failing the whole view.
+                rows.append(
+                    {
+                        "table_id": table_id,
+                        "table_name": table["name"],
+                        "state": "RED",
+                        "file_count": 0,
+                        "total_rows": 0,
+                        "deleted_rows": 0,
+                        "low_quality_files": 0,
+                        "low_quality_fraction": 0.0,
+                        "dv_count": 0,
+                        "pending_compaction": False,
+                    }
+                )
+                continue
             stats = collect_stats(table_id, snapshot, context.config.sto)
             pending_compaction = table_id in pending
-            if pending_compaction or (
-                stats.file_count and stats.low_quality_fraction >= trigger
+            if (
+                compromised
+                or pending_compaction
+                or (stats.file_count and stats.low_quality_fraction >= trigger)
             ):
                 state = "RED"
             elif stats.low_quality_files:
@@ -463,6 +505,26 @@ class Introspector:
                     "pending_compaction": pending_compaction,
                 }
             )
+        return rows
+
+    def _dm_storage_integrity(self) -> List[Dict[str, Any]]:
+        if self._sto is None:
+            return []
+        rows = []
+        for report in self._sto.scrub_reports:
+            for record in report.records:
+                rows.append(
+                    {
+                        "table_id": record.table_id,
+                        "table_name": record.table_name,
+                        "path": record.path,
+                        "kind": record.kind,
+                        "problem": record.problem,
+                        "action": record.action,
+                        "quarantine_path": record.quarantine_path,
+                        "at": record.at,
+                    }
+                )
         return rows
 
     def _dm_checkpoints(self) -> List[Dict[str, Any]]:

@@ -86,6 +86,18 @@ METRIC_NAMES: Dict[str, str] = {
     "storage.bytes_read": "Bytes read from the object store.",
     "storage.bytes_written": "Bytes written to the object store.",
     "storage.faults_injected": "Injected transient faults, labeled by op.",
+    "storage.integrity_blobs_verified": "Blobs audited by scrub passes.",
+    "storage.integrity_corruptions_injected": (
+        "Injected corruption faults, labeled by kind and op."
+    ),
+    "storage.integrity_errors": "Checksum mismatches caught on read.",
+    "storage.integrity_quarantined": "Corrupt blobs moved to quarantine.",
+    "storage.integrity_repaired": (
+        "Quarantined blobs re-materialized from redundant metadata."
+    ),
+    "storage.integrity_unrepairable": (
+        "Corrupt blobs with no redundant source to repair from."
+    ),
     "storage.request_latency_s": "Per-request simulated latency, by op.",
     "storage.requests": "Object-store requests, labeled by op.",
     "storage.retry_attempts": "Failed attempts inside with_retries.",
@@ -110,9 +122,15 @@ SPAN_NAMES: Dict[str, str] = {
     "sto.compaction": "One compaction job.",
     "sto.gc": "One garbage-collection job.",
     "sto.publish": "One open-format publish of a committed manifest.",
+    "sto.scrub": "One integrity-scrub job over every live table.",
+    "sto.scrub.finding": "Span event: one corrupt blob found by the scrubber.",
     "sto.trigger.checkpoint": "Span event: checkpoint trigger fired.",
     "sto.trigger.compaction": "Span event: compaction trigger fired.",
+    "storage.corruption": "Span event: an injected corruption fault.",
     "storage.fault": "Span event: an injected transient storage fault.",
+    "storage.integrity_violation": (
+        "Span event: a checksum mismatch caught on a verified read."
+    ),
     "txn": "One user transaction, begin to finish.",
     "txn.commit": "The validation phase of one commit.",
 }

@@ -294,6 +294,9 @@ def default_rules(
       ``plan_regression_rate_per_s`` per simulated second (requires
       ``TelemetryConfig.query_store_enabled``; the counter never moves
       otherwise).
+    * ``integrity_unrepairable`` — the scrubber found at least one corrupt
+      blob with no redundant source to rebuild from (permanent data loss;
+      fires immediately, no hold).
     """
     return [
         WatchdogRule(
@@ -327,5 +330,11 @@ def default_rules(
             metric="querystore.plan_regressions",
             threshold=plan_regression_rate_per_s,
             mode="rate",
+        ),
+        WatchdogRule(
+            name="integrity_unrepairable",
+            metric="storage.integrity_unrepairable",
+            threshold=1.0,
+            mode="value",
         ),
     ]

@@ -1,0 +1,71 @@
+"""Tests for the corruption sweep and the chaos CLI's error surface."""
+
+from repro.chaos import CRASHPOINTS, run_corruption_sweep
+from repro.chaos.__main__ import main
+from repro.chaos.corruption import (
+    AT_REST_FAULTS,
+    BLOB_KINDS,
+    REPAIRABLE,
+    _run_at_rest,
+)
+
+
+class TestCorruptionSweep:
+    def test_every_fault_class_and_blob_kind_passes(self):
+        result = run_corruption_sweep(seed=0)
+        problems = list(result.problems) + [
+            f"{s.mode}:{s.blob_kind}:{s.fault}: {problem}"
+            for s in result.failures
+            for problem in s.problems
+        ]
+        assert result.ok, "\n".join(problems)
+        covered = {(s.blob_kind, s.fault) for s in result.scenarios}
+        for kind in BLOB_KINDS:
+            for fault in AT_REST_FAULTS + ("stale_read",):
+                assert (kind, fault) in covered, (kind, fault)
+
+    def test_corruption_is_always_detected(self):
+        result = run_corruption_sweep(seed=0)
+        for scenario in result.scenarios:
+            assert scenario.detected, scenario.summary()
+
+    def test_at_rest_outcomes_match_repairability(self):
+        result = run_corruption_sweep(seed=0)
+        for scenario in result.scenarios:
+            if scenario.mode != "at_rest":
+                continue
+            assert scenario.quarantined, scenario.summary()
+            expected = "repaired" if REPAIRABLE[scenario.blob_kind] else "red"
+            assert scenario.outcome == expected, scenario.summary()
+
+    def test_read_side_faults_never_persist(self):
+        result = run_corruption_sweep(seed=0)
+        for scenario in result.scenarios:
+            if scenario.mode == "read":
+                assert scenario.outcome == "transient", scenario.summary()
+                assert not scenario.quarantined, scenario.summary()
+
+    def test_scenario_is_deterministic(self):
+        first = _run_at_rest("manifest", "bit_flip", seed=3)
+        second = _run_at_rest("manifest", "bit_flip", seed=3)
+        assert first.summary() == second.summary()
+        assert first.ok
+
+
+class TestChaosCli:
+    def test_unknown_site_exits_2_and_prints_catalogue(self, capsys):
+        assert main(["--site", "no.such.site"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown crashpoint(s): no.such.site" in err
+        for name in CRASHPOINTS:
+            assert name in err
+
+    def test_recovery_site_rejected_with_double_crash_hint(self, capsys):
+        assert main(["--site", "recovery.staged.after_discard"]) == 2
+        err = capsys.readouterr().err
+        assert "--double-crash" in err
+
+    def test_corruption_flag_runs_clean(self, capsys):
+        assert main(["--corruption"]) == 0
+        out = capsys.readouterr().out
+        assert "corruption scenario(s) detected" in out

@@ -13,7 +13,7 @@ from repro.chaos.crashpoints import active_controller
 SRC_ROOT = Path(repro.__file__).resolve().parent
 
 #: The layers a crashpoint may be instrumented in (mirrors the lint rule).
-INSTRUMENTED_DIRS = ("fe", "sqldb", "sto", "service")
+INSTRUMENTED_DIRS = ("fe", "sqldb", "sto", "service", "chaos")
 
 
 def all_call_sites():
@@ -47,7 +47,9 @@ class TestRegistry:
         assert len(CRASHPOINTS) >= 12
 
     def test_names_follow_layer_convention(self):
-        pattern = re.compile(r"^(fe|sqldb|sto|service)\.[a-z_]+\.[a-z_]+$")
+        pattern = re.compile(
+            r"^(fe|sqldb|sto|service|recovery)\.[a-z_]+\.[a-z_]+$"
+        )
         for name in CRASHPOINTS:
             assert pattern.match(name), name
 

@@ -194,6 +194,43 @@ class TestIdempotence:
         second = RecoveryManager(dw.context, sto=dw.sto).recover()
         assert second.clean
 
+    def test_second_recovery_is_a_byte_level_noop(self, loaded):
+        """The baseline for crash-re-entrant recovery: running a second
+        pass over an already-recovered deployment repairs nothing and
+        leaves every stored blob byte-identical."""
+        dw, session, table_id = loaded
+        crash_at(
+            dw,
+            "sto.checkpoint.after_blob_put",
+            lambda: dw.sto.run_checkpoint(table_id),
+        )
+        RecoveryManager(dw.context, sto=dw.sto).recover()
+        before = {b.path: b.data for b in dw.store.list("")}
+        second = RecoveryManager(dw.context, sto=dw.sto).recover()
+        assert second.clean
+        after = {b.path: b.data for b in dw.store.list("")}
+        assert after == before
+
+    def test_crashed_recovery_passes_converge(self, loaded):
+        """Recovery can die at any of its own crashpoints; the next pass
+        finishes the job and ends clean."""
+        from repro.chaos.harness import RECOVERY_SITES
+
+        dw, session, _ = loaded
+        crash_at(
+            dw,
+            "fe.write.before_manifest_flush",
+            lambda: session.insert("t", batch(100, 50)),
+        )
+        manager = RecoveryManager(dw.context, sto=dw.sto)
+        for site in RECOVERY_SITES:
+            controller = ChaosController(seed=0).arm(site)
+            with controller:
+                with pytest.raises(SimulatedCrash):
+                    manager.recover()
+            assert controller.crashes == [site]
+        assert manager.recover().clean
+
     def test_recovery_on_healthy_warehouse_is_clean(self, loaded):
         dw, session, _ = loaded
         report = RecoveryManager(dw.context, sto=dw.sto).recover()

@@ -1,13 +1,21 @@
 """Tests for the systematic crash sweep and the longevity soak."""
 
+import pytest
+
 from repro.chaos import CRASHPOINTS, run_crash_sweep, run_longevity
-from repro.chaos.harness import ChaosWorkload, run_site
+from repro.chaos.harness import (
+    RECOVERY_SITES,
+    WORKLOAD_SITES,
+    ChaosWorkload,
+    run_site,
+)
 
 
 class TestCrashSweep:
     def test_full_sweep_crashes_and_recovers_every_site(self):
         result = run_crash_sweep(seed=0)
-        assert len(result.sites) == len(CRASHPOINTS)
+        assert len(result.sites) == len(WORKLOAD_SITES)
+        assert set(WORKLOAD_SITES) | set(RECOVERY_SITES) == set(CRASHPOINTS)
         problems = [
             f"{site.site}: {problem}"
             for site in result.failures
@@ -33,6 +41,30 @@ class TestCrashSweep:
         alone = run_site(site, seed=0).summary()
         swept = run_crash_sweep(seed=0, sites=[site]).summary()
         assert swept == [alone]
+
+
+class TestDoubleCrash:
+    def test_recovery_sites_registered(self):
+        assert len(RECOVERY_SITES) == 6
+        assert all(site.startswith("recovery.") for site in RECOVERY_SITES)
+
+    def test_double_crash_workload_site_recovers(self):
+        result = run_site("fe.commit.after_sqldb_commit", seed=0, double_crash=True)
+        assert result.ok, "\n".join(result.problems)
+
+    def test_double_crash_gateway_site_recovers(self):
+        result = run_site("service.admit.after_enqueue", seed=0, double_crash=True)
+        assert result.ok, "\n".join(result.problems)
+
+    def test_double_crash_is_deterministic(self):
+        site = "sto.checkpoint.after_blob_put"
+        first = run_site(site, seed=5, double_crash=True).summary()
+        second = run_site(site, seed=5, double_crash=True).summary()
+        assert first == second
+
+    def test_recovery_site_cannot_be_armed_directly(self):
+        with pytest.raises(ValueError):
+            run_site("recovery.staged.after_discard", seed=0)
 
 
 class TestWorkloadOracle:

@@ -44,6 +44,16 @@ EXPECTED_SCHEMAS = {
         ("dv_count", "int64"),
         ("pending_compaction", "bool"),
     ),
+    "sys.dm_storage_integrity": (
+        ("table_id", "int64"),
+        ("table_name", "string"),
+        ("path", "string"),
+        ("kind", "string"),
+        ("problem", "string"),
+        ("action", "string"),
+        ("quarantine_path", "string"),
+        ("at", "float64"),
+    ),
     "sys.dm_checkpoints": (
         ("table_id", "int64"),
         ("table_name", "string"),

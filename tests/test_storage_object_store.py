@@ -71,7 +71,10 @@ class TestBasicBlobs:
 
     def test_metadata_stored(self, store):
         store.put("a", b"", metadata={"k": "v"})
-        assert store.head("a").metadata == {"k": "v"}
+        meta = store.head("a").metadata
+        assert meta["k"] == "v"
+        # Every put stamps a checksum alongside caller metadata.
+        assert meta["checksum"].startswith("crc32:")
 
     def test_created_at_uses_clock(self, store):
         store.clock.advance(7.0)

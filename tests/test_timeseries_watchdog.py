@@ -217,7 +217,7 @@ class TestWatchdogUnit:
         with pytest.raises(ValueError):
             WatchdogRule(name="", metric="m", threshold=1.0)
 
-    def test_default_rules_cover_the_five_failure_modes(self):
+    def test_default_rules_cover_the_six_failure_modes(self):
         rules = {rule.name: rule for rule in default_rules()}
         assert set(rules) == {
             "abort_rate_spike",
@@ -225,6 +225,7 @@ class TestWatchdogUnit:
             "retry_backoff_saturation",
             "admission_queue_saturation",
             "plan_latency_regression",
+            "integrity_unrepairable",
         }
         assert rules["abort_rate_spike"].mode == "rate"
         assert rules["red_table_lingering"].hold_s > 0
@@ -234,6 +235,11 @@ class TestWatchdogUnit:
         assert (
             rules["plan_latency_regression"].metric
             == "querystore.plan_regressions"
+        )
+        assert rules["integrity_unrepairable"].mode == "value"
+        assert (
+            rules["integrity_unrepairable"].metric
+            == "storage.integrity_unrepairable"
         )
 
 
