@@ -1,0 +1,224 @@
+"""Wait-statistics overhead and the 16x commit-contention profile.
+
+Two scenarios:
+
+``test_waits_overhead``
+    The TPC-H SQL power run (same corpus as
+    ``bench_querystore_overhead``) on two fresh warehouses — all
+    observability off vs query store *and* wait statistics on — gating
+    the simulated-time overhead at <= 5%.  Recording a wait never
+    advances the clock itself (it attributes stalls the simulation
+    already charges), so the instrumented run must track the plain one.
+
+``test_commit_contention_16x``
+    Sixteen transactional clients trickle inserts through the service
+    gateway with a non-zero commit hold (``txn.commit_hold_s``), the
+    Section 4.1.2 serialization point.  Commits outpace the hold window,
+    so every commit after the first queues on the lock's busy horizon:
+    the run asserts ``commit_lock`` dominates all other execution-side
+    wait kinds, and that the same workload at 1x concurrency records no
+    commit-lock wait at all.  The commit-lock totals land in
+    ``extra_info`` so ``BENCH_waits.json`` regression-gates them.
+"""
+
+# Script mode (``python benchmarks/bench_*.py``): make repo-root imports
+# resolvable before the ``benchmarks``/``repro`` imports below.
+if __package__ in (None, ""):
+    import os
+    import sys
+
+    _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for _path in (os.path.join(_ROOT, "src"), _ROOT):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from repro.service import Gateway
+from repro.sql.runner import SqlSession
+from repro.workloads.service_load import ServiceLoadGenerator
+from repro.workloads.tpch import TPCH_SQL_QUERIES, TpchGenerator
+from repro.workloads.tpch.schema import TPCH_DISTRIBUTION, TPCH_SCHEMAS
+
+from benchmarks.support import fresh_warehouse, print_series, run_once
+
+SCALE = 0.2
+
+#: Maximum tolerated simulated-time overhead of the instrumented path.
+OVERHEAD_LIMIT = 0.05
+
+#: Power runs per configuration.
+RUNS = 3
+
+#: Simulated seconds one commit keeps the lock's busy horizon extended
+#: in the contention scenario — deliberately larger than a trickle
+#: insert's execution time (~0.36 simulated seconds) so back-to-back
+#: commits must queue.
+COMMIT_HOLD_S = 0.5
+
+
+def setup_warehouse(instrumented: bool):
+    """A TPC-H-loaded warehouse with observability off or fully on."""
+    dw = fresh_warehouse(
+        elastic=True,
+        separate_pools=True,
+        auto_optimize=False,
+        telemetry__query_store_enabled=instrumented,
+        telemetry__wait_stats_enabled=instrumented,
+    )
+    session = dw.session()
+    generator = TpchGenerator(scale_factor=SCALE, seed=42)
+    for name, batch in generator.all_tables().items():
+        session.create_table(name, TPCH_SCHEMAS[name], TPCH_DISTRIBUTION[name])
+        session.insert(name, batch)
+    return dw
+
+
+def power_runs(dw):
+    """RUNS SQL power runs; returns {query: simulated seconds} of the last."""
+    sql = SqlSession(dw.session())
+    times = {}
+    for _ in range(RUNS):
+        for number, text in sorted(TPCH_SQL_QUERIES.items()):
+            start = dw.clock.now
+            sql.execute(text)
+            times[number] = dw.clock.now - start
+    return times
+
+
+def test_waits_overhead(benchmark):
+    state = {}
+
+    def workload():
+        plain = setup_warehouse(instrumented=False)
+        state["plain_setup_end"] = plain.clock.now
+        state["plain_times"] = power_runs(plain)
+        state["plain_total"] = plain.clock.now - state["plain_setup_end"]
+
+        on = setup_warehouse(instrumented=True)
+        state["on_setup_end"] = on.clock.now
+        state["on_times"] = power_runs(on)
+        state["on_total"] = on.clock.now - state["on_setup_end"]
+        state["waits"] = on.telemetry.waits
+        return state
+
+    run_once(benchmark, workload)
+
+    plain, on = state["plain_times"], state["on_times"]
+    rows = [
+        (
+            f"Q{q:02d}",
+            f"{plain[q]:.3f}",
+            f"{on[q]:.3f}",
+            f"{on[q] / plain[q]:.3f}x",
+        )
+        for q in sorted(plain)
+    ]
+    print_series(
+        "Wait-stats overhead: TPC-H SQL power run, observability off vs on",
+        ["query", "off_s", "on_s", "ratio"],
+        rows,
+    )
+
+    overhead = state["on_total"] / state["plain_total"] - 1.0
+    print(
+        f"\npower-run simulated time: off={state['plain_total']:.3f}s "
+        f"on={state['on_total']:.3f}s overhead={overhead:+.2%}"
+    )
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"wait stats + query store added {overhead:.2%} simulated time "
+        f"(limit {OVERHEAD_LIMIT:.0%}) — recording a wait must never "
+        "advance the clock"
+    )
+    assert state["waits"] is not None
+    assert state["waits"].inflight_count == 0, "open waits leaked"
+
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 6)
+    benchmark.extra_info["power_off_s"] = round(state["plain_total"], 6)
+    benchmark.extra_info["power_on_s"] = round(state["on_total"], 6)
+
+
+def _commit_load(transactional_clients: int):
+    """One gateway run of trickle-insert traffic with a real commit hold."""
+    dw = fresh_warehouse(
+        auto_optimize=False,
+        telemetry__wait_stats_enabled=True,
+        txn__commit_hold_s=COMMIT_HOLD_S,
+    )
+    gateway = Gateway(dw.context, seed=0)
+    generator = ServiceLoadGenerator(
+        gateway,
+        seed=0,
+        transactional_clients=transactional_clients,
+        analytical_clients=0,
+        mean_think_s=2.0,
+    )
+    report = generator.run()
+    return {"dw": dw, "report": report, "waits": dw.telemetry.waits}
+
+
+def test_commit_contention_16x(benchmark):
+    state = {}
+
+    def workload():
+        state["serial"] = _commit_load(transactional_clients=1)
+        state["contended"] = _commit_load(transactional_clients=16)
+        return state["contended"]["report"]
+
+    run_once(benchmark, workload)
+
+    waits = state["contended"]["waits"]
+    rows = [
+        (
+            kind,
+            int(waits.wait_count(kind)),
+            f"{waits.total_wait_s(kind):.3f}",
+        )
+        for kind in waits.kinds()
+    ]
+    print_series(
+        "16x commit contention: recorded waits by kind",
+        ["wait_kind", "waits", "total_wait_s"],
+        rows,
+    )
+
+    lock = state["contended"]["dw"].context.sqldb.commit_lock
+    commit_wait_s = waits.total_wait_s("commit_lock")
+    assert waits.wait_count("commit_lock") > 0, (
+        "16 concurrent committers never queued on the commit lock"
+    )
+    # The commit lock must be the dominant *execution-side* stall; the
+    # admission queue absorbs the overflow ahead of execution and is
+    # reported as front-door queueing, not serialization.
+    for kind in waits.kinds():
+        if kind in ("commit_lock", "admission_queue"):
+            continue
+        assert commit_wait_s >= waits.total_wait_s(kind), (
+            f"{kind} out-stalled the commit lock under 16x commit load"
+        )
+    # A single client only re-enters the hold window when its think time
+    # happens to undercut it; sixteen committers queue on *every* commit.
+    serial_waits = state["serial"]["waits"]
+    serial_wait_s = serial_waits.total_wait_s("commit_lock")
+    assert serial_wait_s < commit_wait_s * 0.2, (
+        f"1x commit-lock wait ({serial_wait_s:.3f}s) is not small next to "
+        f"16x ({commit_wait_s:.3f}s) — contention did not scale with "
+        "concurrency"
+    )
+
+    benchmark.extra_info["commit_lock_waits"] = int(
+        waits.wait_count("commit_lock")
+    )
+    benchmark.extra_info["commit_lock_wait_s"] = round(commit_wait_s, 6)
+    benchmark.extra_info["commit_lock_acquisitions"] = lock.acquisitions
+    benchmark.extra_info["commit_lock_hold_s"] = round(lock.total_hold_s, 6)
+    benchmark.extra_info["completed"] = state["contended"]["report"].completed
+    benchmark.extra_info["submitted"] = state["contended"]["report"].submitted
+
+
+if __name__ == "__main__":
+    from benchmarks.support import bench_main
+
+    bench_main(
+        test_waits_overhead,
+        test_commit_contention_16x,
+        report_file="BENCH_waits.json",
+    )

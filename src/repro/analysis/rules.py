@@ -18,6 +18,7 @@ from repro.telemetry.names import (
     METRIC_NAMES,
     SPAN_NAMES,
     SPAN_PREFIXES,
+    WAIT_NAMES,
     is_well_formed,
 )
 from repro.analysis.framework import (
@@ -750,6 +751,61 @@ def _literal_str(node: Optional[ast.AST]) -> Optional[str]:
     return None
 
 
+# -- wait-naming ---------------------------------------------------------------
+
+#: WaitStats methods whose first argument names a wait kind.
+_WAIT_FACTORIES = {"record_wait", "waiting"}
+
+
+@register
+class WaitNamingRule(Rule):
+    """Wait kinds are literal and registered in WAIT_NAMES.
+
+    ``sys.dm_wait_stats`` rows, the ``commit_lock_contention`` watchdog
+    rule and the critical-path profiler all address waits by kind, so —
+    exactly like metric names — the wait vocabulary must be statically
+    enumerable: every ``.record_wait(...)``/``.waiting(...)`` call site
+    passes a string literal registered in
+    :data:`repro.telemetry.names.WAIT_NAMES`.
+    """
+
+    name = "wait-naming"
+    description = (
+        "wait kinds passed to record_wait()/waiting() are string literals "
+        "registered in repro.telemetry.names.WAIT_NAMES"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield unregistered or dynamic wait kinds."""
+        for call in iter_calls(module.tree):
+            func = call_name(call)
+            if func not in _WAIT_FACTORIES:
+                continue
+            kind = _literal_str(call.args[0]) if call.args else None
+            if kind is None:
+                yield self.finding(
+                    module,
+                    call,
+                    f".{func}(...) wait kind must be a string literal so "
+                    "the wait vocabulary is statically enumerable",
+                )
+                continue
+            if not is_well_formed(kind):
+                yield self.finding(
+                    module,
+                    call,
+                    f"wait kind {kind!r} is not dotted lowercase "
+                    "(segment(.segment)*)",
+                )
+            if kind not in WAIT_NAMES:
+                yield self.finding(
+                    module,
+                    call,
+                    f"wait kind {kind!r} is not registered in "
+                    "repro.telemetry.names.WAIT_NAMES",
+                )
+
+
 # -- dmv-schema-discipline -----------------------------------------------------
 
 #: Valid system-view names: the reserved sys.dm_ prefix, lowercase.
@@ -958,5 +1014,6 @@ SHIPPED_RULES: List[str] = [
     "docstring-coverage",
     "crashpoint-discipline",
     "metric-naming",
+    "wait-naming",
     "dmv-schema-discipline",
 ]

@@ -127,7 +127,11 @@ CRASHPOINTS: Dict[str, str] = {
         "recovery: gateway scavenged, query store not yet scavenged"
     ),
     "recovery.querystore.after_scavenge": (
-        "recovery: query store scavenged, orchestrator trigger state not "
+        "recovery: query store scavenged, open wait scopes not yet "
+        "discarded"
+    ),
+    "recovery.waits.after_scavenge": (
+        "recovery: open waits discarded, orchestrator trigger state not "
         "yet rebound"
     ),
 }

@@ -32,7 +32,10 @@ Recovery steps, in order:
 7. **Query-store scavenge** — in-flight query-store executions are
    discarded (a crashed statement never reported; a half-measured
    profile must not reach the aggregates).
-8. **Trigger state** — the orchestrator's pending work is reset.
+8. **Wait-stats scavenge** — wait scopes still open at the crash are
+   discarded (the dead process never stopped waiting; phantom stall
+   time must not reach the wait aggregates).
+9. **Trigger state** — the orchestrator's pending work is reset.
 """
 
 from __future__ import annotations
@@ -72,6 +75,9 @@ class RecoveryReport:
     #: In-flight query-store executions discarded (started by the dead
     #: process, never finished — they must not reach the aggregates).
     querystore_profiles_discarded: int = 0
+    #: Open wait scopes discarded (the dead process never stopped
+    #: waiting; a half-measured wait must not reach the wait stats).
+    open_waits_discarded: int = 0
 
     @property
     def clean(self) -> bool:
@@ -86,6 +92,7 @@ class RecoveryReport:
             and self.publishes_completed == 0
             and self.gateway_requests_scavenged == 0
             and self.querystore_profiles_discarded == 0
+            and self.open_waits_discarded == 0
         )
 
 
@@ -131,6 +138,8 @@ class RecoveryManager:
             crashpoint("recovery.gateway.after_scavenge")
             self._scavenge_querystore(report)
             crashpoint("recovery.querystore.after_scavenge")
+            self._scavenge_waits(report)
+            crashpoint("recovery.waits.after_scavenge")
             if self._sto is not None:
                 self._sto.rebind(context)
         if tel.metering:
@@ -154,6 +163,9 @@ class RecoveryManager:
             metrics.counter("recovery.querystore_discarded").inc(
                 report.querystore_profiles_discarded
             )
+            metrics.counter("recovery.waits_discarded").inc(
+                report.open_waits_discarded
+            )
         context.bus.publish(
             "recovery.completed",
             in_doubt_committed=report.in_doubt_committed,
@@ -162,6 +174,7 @@ class RecoveryManager:
             publishes_completed=report.publishes_completed,
             gateway_requests_scavenged=report.gateway_requests_scavenged,
             querystore_profiles_discarded=report.querystore_profiles_discarded,
+            open_waits_discarded=report.open_waits_discarded,
         )
         if self.strict and report.missing_manifests:
             raise RecoveryError(
@@ -256,6 +269,18 @@ class RecoveryManager:
         store = self._context.telemetry.querystore
         if store is not None:
             report.querystore_profiles_discarded = store.scavenge()
+
+    def _scavenge_waits(self, report: RecoveryReport) -> None:
+        """Step 5d: discard wait scopes the dead process left open.
+
+        A crashed waiter never stopped waiting; folding the scope would
+        charge phantom stall time (and an arbitrary duration) to the
+        aggregates, so open waits are discarded — never counted as
+        completed waits.
+        """
+        waits = self._context.telemetry.waits
+        if waits is not None:
+            report.open_waits_discarded = waits.scavenge()
 
     def _complete_publishes(self, report: RecoveryReport) -> None:
         """Step 5: republish committed sequences the dead publisher missed."""

@@ -130,6 +130,14 @@ class TelemetryConfig:
     query_store_min_history: int = 8
     #: A fingerprint regresses when recent p95 >= factor * baseline p95.
     query_store_regression_factor: float = 2.0
+    #: Enable wait statistics: every blocking point (commit lock, admission
+    #: queues, retry backoff, task dispatch, ...) records how long it
+    #: stalled the simulated clock, attributed per tenant, workload class
+    #: and query fingerprint, surfaced as ``sys.dm_wait_stats`` and
+    #: ``sys.dm_exec_query_waits``.  Off (the default) means no collector
+    #: is constructed and every instrumented site pays a single attribute
+    #: check.
+    wait_stats_enabled: bool = False
 
 
 @dataclass
@@ -182,6 +190,13 @@ class TransactionConfig:
     isolation: str = "snapshot"
     #: Automatic commit retries for retriable validation failures.
     commit_retries: int = 0
+    #: Modeled service time of the commit critical section (simulated
+    #: seconds).  The validation phase serializes every commit behind the
+    #: commit lock (Section 4.1.2); a non-zero hold keeps the lock "busy"
+    #: that long past each release, so concurrent committers queue behind
+    #: it and the queueing shows up as ``commit_lock`` waits.  0 (the
+    #: default) preserves the idealized instantaneous critical section.
+    commit_hold_s: float = 0.0
 
 
 @dataclass
@@ -227,6 +242,8 @@ class PolarisConfig:
             raise ValueError(
                 "telemetry.watchdog_enabled requires sample_interval_s > 0"
             )
+        if self.txn.commit_hold_s < 0:
+            raise ValueError("txn.commit_hold_s must be >= 0")
         if self.telemetry.query_store_recent_window <= 0:
             raise ValueError("telemetry.query_store_recent_window must be positive")
         if self.telemetry.query_store_min_history < 2:

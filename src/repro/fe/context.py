@@ -124,6 +124,23 @@ class ServiceContext:
                 bus=bus,
                 seed=config.seed,
             )
+        if config.telemetry.wait_stats_enabled:
+            from repro.telemetry.waits import WaitStats
+
+            telemetry.waits = WaitStats(
+                clock,
+                config.telemetry,
+                metrics=telemetry.metrics if telemetry.metering else None,
+                tracer=telemetry.tracer if telemetry.tracing else None,
+                seed=config.seed,
+            )
+        # The engine (and its commit lock) predates telemetry wiring, so
+        # the contention model and its sinks are bound afterwards.
+        sqldb.commit_lock.configure(
+            hold_s=config.txn.commit_hold_s,
+            waits=telemetry.waits,
+            metrics=telemetry.metrics if telemetry.metering else None,
+        )
         if telemetry.metering and config.telemetry.sample_interval_s > 0:
             sampler = MetricsSampler(
                 clock,

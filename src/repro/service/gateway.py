@@ -214,6 +214,16 @@ class Gateway:
             if metering:
                 metrics.counter("service.shed", reason=reason).inc()
                 metrics.histogram("service.retry_after_s").observe(retry_after_s)
+            waits = self._telemetry.waits
+            if waits is not None:
+                # The retry-after hint is the stall a well-behaved client
+                # honors before resubmitting — the throttle's real cost.
+                waits.record_wait(
+                    "throttle",
+                    retry_after_s,
+                    tenant=tenant,
+                    workload_class=workload_class,
+                )
             raise request.exception
         self._record(request)
         if metering:
@@ -245,6 +255,7 @@ class Gateway:
         """The dispatcher tasklet: pop, execute, account, repeat."""
         while True:
             request, expired = self.admission.next_request()
+            waits = self._telemetry.waits
             for timed_out in expired:
                 self._finish(timed_out, "timed_out")
                 if self._telemetry.metering:
@@ -252,6 +263,16 @@ class Gateway:
                         "service.timeouts",
                         workload_class=timed_out.workload_class,
                     ).inc()
+                if waits is not None:
+                    # The expired request's whole queue wait bought
+                    # nothing; attribute it explicitly (the dispatcher is
+                    # expiring someone else's request).
+                    waits.record_wait(
+                        "queue_deadline",
+                        self._context.clock.now - timed_out.submitted_at,
+                        tenant=timed_out.tenant,
+                        workload_class=timed_out.workload_class,
+                    )
             if self._telemetry.metering:
                 self._telemetry.metrics.gauge("service.queue_depth").set(
                     self.admission.queue_depth()
@@ -270,7 +291,9 @@ class Gateway:
         metrics = self._telemetry.metrics
         metering = self._telemetry.metering
         querystore = self._telemetry.querystore
+        waits = self._telemetry.waits
         attributed = False
+        waits_attributed = False
         try:
             gateway_session = self.pool.acquire(request.tenant)
         except PolarisError as error:
@@ -283,6 +306,15 @@ class Gateway:
                 metrics.counter(
                     "service.failures", error=type(error).__name__
                 ).inc()
+            if waits is not None:
+                # Acquisition never blocks — it fails fast on quota — so
+                # this wait kind is count-only starvation evidence.
+                waits.record_wait(
+                    "session_pool",
+                    0.0,
+                    tenant=request.tenant,
+                    workload_class=request.workload_class,
+                )
             return
         # The session is held from here on: everything, including the
         # pre-execution accounting, runs under the releasing ``finally``.
@@ -302,6 +334,15 @@ class Gateway:
                     request.tenant, request.workload_class
                 )
                 attributed = True
+            if waits is not None:
+                waits.push_attribution(
+                    request.tenant, request.workload_class
+                )
+                waits_attributed = True
+                if request.queue_wait_s > 0:
+                    waits.record_wait(
+                        "admission_queue", request.queue_wait_s
+                    )
             try:
                 with self._telemetry.span(
                     "service.request",
@@ -344,6 +385,8 @@ class Gateway:
             try:
                 if attributed:
                     querystore.pop_attribution()
+                if waits_attributed:
+                    waits.pop_attribution()
             finally:
                 # The release must survive a pop_attribution failure.
                 self.pool.release(gateway_session)

@@ -29,7 +29,7 @@ class SqlDbEngine:
         self.store = VersionedStore()
         self._txid_seq = MonotonicSequence(start=100_000)
         self._commit_seq = MonotonicSequence(start=1)
-        self._commit_lock = CommitLock()
+        self._commit_lock = CommitLock(clock=self.clock)
         self._active: Dict[int, SqlDbTransaction] = {}
         self._committed_count = 0
         self._aborted_count = 0
@@ -105,6 +105,11 @@ class SqlDbEngine:
             self._aborted_count += 1
 
     # -- observers --------------------------------------------------------------
+
+    @property
+    def commit_lock(self) -> CommitLock:
+        """The commit lock (exposed for instrumentation and DMVs)."""
+        return self._commit_lock
 
     @property
     def last_commit_seq(self) -> int:

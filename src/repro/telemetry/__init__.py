@@ -17,6 +17,12 @@ per deployment and is reachable as ``context.telemetry`` everywhere a
 """
 
 from repro.common.config import TelemetryConfig
+from repro.telemetry.critical_path import (
+    analyze as analyze_critical_path,
+    format_report as format_critical_path_report,
+    load_trace,
+    top_serialization_kind,
+)
 from repro.telemetry.exporters import (
     chrome_trace,
     combined_chrome_trace,
@@ -33,7 +39,12 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     snapshot_delta,
 )
-from repro.telemetry.names import METRIC_NAMES, SPAN_NAMES, SPAN_PREFIXES
+from repro.telemetry.names import (
+    METRIC_NAMES,
+    SPAN_NAMES,
+    SPAN_PREFIXES,
+    WAIT_NAMES,
+)
 from repro.telemetry.querystore import (
     QueryProfile,
     QueryStore,
@@ -49,6 +60,7 @@ from repro.telemetry.timeseries import (
     WatchdogRule,
     default_rules,
 )
+from repro.telemetry.waits import WaitStats
 
 __all__ = [
     "Counter",
@@ -69,17 +81,23 @@ __all__ = [
     "TelemetryConfig",
     "Tracer",
     "TransactionLedger",
+    "WAIT_NAMES",
+    "WaitStats",
     "Watchdog",
     "WatchdogRule",
+    "analyze_critical_path",
     "chrome_trace",
     "combined_chrome_trace",
     "default_rules",
     "fingerprint",
+    "format_critical_path_report",
     "instances",
+    "load_trace",
     "normalize_sql",
     "plan_fingerprint",
     "snapshot_delta",
     "spans_to_jsonl",
+    "top_serialization_kind",
     "tracing_instances",
     "write_chrome_trace",
     "write_jsonl",

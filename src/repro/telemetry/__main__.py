@@ -1,0 +1,59 @@
+"""Telemetry command line: trace analysis tools.
+
+``python -m repro.telemetry --critical-path trace.jsonl`` reconstructs
+the span forest of a recorded trace (the JSONL written by
+``Telemetry.export_jsonl``), extracts each request's critical path, and
+prints the bottleneck report — self time vs wait time per component,
+plus the ranked serialization contributors (see
+:mod:`repro.telemetry.critical_path`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.telemetry.critical_path import analyze, format_report, load_trace
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Trace analysis tools over span JSONL files.",
+    )
+    parser.add_argument(
+        "--critical-path",
+        metavar="TRACE_JSONL",
+        help="analyze one span JSONL trace and print the bottleneck report",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="serialization contributors to list (default 10)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of the text table",
+    )
+    args = parser.parse_args(argv)
+    if args.critical_path is None:
+        parser.error("--critical-path is required")
+    spans = load_trace(args.critical_path)
+    if not spans:
+        print(f"no finished spans in {args.critical_path}", file=sys.stderr)
+        return 1
+    report = analyze(spans)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(format_report(report, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

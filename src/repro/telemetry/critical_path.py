@@ -1,0 +1,233 @@
+"""Trace critical-path analysis: where did each request's time go?
+
+Input is a span JSONL file as written by
+:meth:`repro.telemetry.facade.Telemetry.export_jsonl` (one
+:func:`~repro.telemetry.exporters.span_to_dict` object per line).  The
+analyzer rebuilds the span forest, extracts each root's *critical path*
+— the chain of latest-ending children that, walked backward from the
+root's end, explains its elapsed time — and aggregates a bottleneck
+report: per component, how much critical-path time was its own work
+(self time) versus recorded stalls (``wait.*`` spans emitted by
+:mod:`repro.telemetry.waits`).
+
+Wait spans that are themselves roots (e.g. ``admission_queue`` time,
+recorded before a request's execution span opens) are *front-door
+queueing*: they are reported separately and excluded from the
+serialization ranking, because queueing ahead of execution is a symptom
+of whatever serializes execution, not a cause.  The ranking over waits
+*inside* request trees is the "top serialization contributor" table —
+the evidence that, at high commit concurrency, the commit lock dominates
+(and the group-commit work is justified).
+
+Exposed as ``python -m repro.telemetry --critical-path <trace.jsonl>``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Span-name prefix that marks a recorded wait interval.
+WAIT_PREFIX = "wait."
+
+#: Float slack when chaining child intervals (spans produced by the
+#: simulation are exact, but arithmetic on them is not).
+EPSILON = 1e-9
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse one span-JSONL file into span dicts (finished spans only)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            span = json.loads(line)
+            if span.get("end") is None:
+                continue
+            spans.append(span)
+    return spans
+
+
+def _forest(
+    spans: List[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[Any, List[Dict[str, Any]]]]:
+    """Roots plus a parent-id -> children index (insertion-ordered)."""
+    by_id = {span["span_id"]: span for span in spans}
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    roots = []
+    for span in spans:
+        parent_id = span.get("parent_id")
+        if parent_id is not None and parent_id in by_id:
+            children.setdefault(parent_id, []).append(span)
+        else:
+            roots.append(span)
+    return roots, children
+
+
+def _critical_chain(
+    span: Dict[str, Any], children: Dict[Any, List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """The children of ``span`` on its critical path, earliest first.
+
+    Walk backward from the span's end: repeatedly take the
+    latest-ending child that starts before the cursor, then jump the
+    cursor to that child's start.  Whatever the chain does not cover is
+    the span's own (self) time.
+    """
+    kids = sorted(
+        children.get(span["span_id"], ()),
+        key=lambda child: (child["end"], child["start"]),
+    )
+    chain: List[Dict[str, Any]] = []
+    cursor = span["end"]
+    for child in reversed(kids):
+        if child["end"] > cursor + EPSILON:
+            continue  # overlaps the chain already chosen; not on the path
+        if child["end"] <= span["start"] + EPSILON:
+            continue  # entirely before the span's own window
+        chain.append(child)
+        cursor = max(child["start"], span["start"])
+        if cursor <= span["start"] + EPSILON:
+            break
+    chain.reverse()
+    return chain
+
+
+def _component(span: Dict[str, Any]) -> str:
+    """The aggregation bucket of one span: its category."""
+    return span.get("category") or "unknown"
+
+
+def _is_wait(span: Dict[str, Any]) -> bool:
+    return str(span.get("name", "")).startswith(WAIT_PREFIX)
+
+
+def _wait_kind(span: Dict[str, Any]) -> str:
+    attrs = span.get("attributes") or {}
+    kind = attrs.get("kind")
+    if kind:
+        return str(kind)
+    return str(span.get("name", ""))[len(WAIT_PREFIX):]
+
+
+def _walk(
+    span: Dict[str, Any],
+    children: Dict[Any, List[Dict[str, Any]]],
+    components: Dict[str, Dict[str, float]],
+    wait_kinds: Dict[str, Dict[str, float]],
+) -> None:
+    """Accumulate one span's critical-path contribution, recursing."""
+    duration = max(span["end"] - span["start"], 0.0)
+    if _is_wait(span):
+        kind = _wait_kind(span)
+        slot = wait_kinds.setdefault(kind, {"wait_s": 0.0, "waits": 0.0})
+        slot["wait_s"] += duration
+        slot["waits"] += 1
+        bucket = components.setdefault(
+            "wait", {"self_s": 0.0, "wait_s": 0.0, "spans": 0.0}
+        )
+        bucket["wait_s"] += duration
+        bucket["spans"] += 1
+        return  # a wait's children (if any) are not compute
+    chain = _critical_chain(span, children)
+    covered = 0.0
+    for child in chain:
+        covered += min(child["end"], span["end"]) - max(
+            child["start"], span["start"]
+        )
+        _walk(child, children, components, wait_kinds)
+    bucket = components.setdefault(
+        _component(span), {"self_s": 0.0, "wait_s": 0.0, "spans": 0.0}
+    )
+    bucket["self_s"] += max(duration - covered, 0.0)
+    bucket["spans"] += 1
+
+
+def analyze(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The bottleneck report over one trace, as a deterministic dict.
+
+    * ``components`` — per span category on request critical paths:
+      self time, wait time, span count.
+    * ``serialization`` — wait kinds on request critical paths, ranked
+      by stalled seconds: the serialization contributors.
+    * ``front_door`` — wait kinds recorded outside any request tree
+      (queueing ahead of execution), reported but not ranked.
+    * ``requests`` / ``critical_path_s`` — how many root trees were
+      analyzed and their summed root durations.
+    """
+    roots, children = _forest(spans)
+    components: Dict[str, Dict[str, float]] = {}
+    wait_kinds: Dict[str, Dict[str, float]] = {}
+    front_door: Dict[str, Dict[str, float]] = {}
+    requests = 0
+    critical_path_s = 0.0
+    for root in sorted(roots, key=lambda span: (span["start"], span["end"])):
+        if _is_wait(root):
+            kind = _wait_kind(root)
+            slot = front_door.setdefault(kind, {"wait_s": 0.0, "waits": 0.0})
+            slot["wait_s"] += max(root["end"] - root["start"], 0.0)
+            slot["waits"] += 1
+            continue
+        requests += 1
+        critical_path_s += max(root["end"] - root["start"], 0.0)
+        _walk(root, children, components, wait_kinds)
+    ranked = sorted(
+        (
+            {"wait_kind": kind, **{k: v for k, v in slot.items()}}
+            for kind, slot in wait_kinds.items()
+        ),
+        key=lambda row: (-row["wait_s"], row["wait_kind"]),
+    )
+    return {
+        "requests": requests,
+        "critical_path_s": critical_path_s,
+        "components": {name: components[name] for name in sorted(components)},
+        "serialization": ranked,
+        "front_door": {kind: front_door[kind] for kind in sorted(front_door)},
+    }
+
+
+def format_report(report: Dict[str, Any], top: int = 10) -> str:
+    """Render :func:`analyze` output as the CLI's human-readable report."""
+    lines = ["=== critical-path bottleneck report ==="]
+    lines.append(
+        f"request trees: {report['requests']}"
+        f"   critical-path simulated seconds: {report['critical_path_s']:.3f}"
+    )
+    total = report["critical_path_s"] or 1.0
+    lines.append("")
+    lines.append("per-component breakdown (critical-path time):")
+    lines.append(f"  {'component':<14} {'self_s':>10} {'wait_s':>10} {'spans':>7}")
+    for name, bucket in report["components"].items():
+        lines.append(
+            f"  {name:<14} {bucket['self_s']:>10.3f}"
+            f" {bucket['wait_s']:>10.3f} {int(bucket['spans']):>7}"
+        )
+    lines.append("")
+    lines.append("serialization contributors (waits on request critical paths):")
+    if report["serialization"]:
+        for rank, row in enumerate(report["serialization"][:top], start=1):
+            share = row["wait_s"] / total
+            lines.append(
+                f"  {rank}. {row['wait_kind']:<16} {row['wait_s']:>10.3f} s"
+                f"  ({int(row['waits'])} waits, {share:.1%} of critical path)"
+            )
+    else:
+        lines.append("  (none recorded)")
+    if report["front_door"]:
+        lines.append("")
+        lines.append("front-door queueing (waits outside request execution):")
+        for kind, slot in report["front_door"].items():
+            lines.append(
+                f"  {kind:<19} {slot['wait_s']:>10.3f} s"
+                f"  ({int(slot['waits'])} waits)"
+            )
+    return "\n".join(lines)
+
+
+def top_serialization_kind(report: Dict[str, Any]) -> Optional[str]:
+    """The highest-ranked serialization wait kind, if any."""
+    ranked = report.get("serialization") or []
+    return ranked[0]["wait_kind"] if ranked else None

@@ -74,6 +74,10 @@ def _track_order(spans: Sequence[Span]) -> List[str]:
 def _track_label(track: str) -> str:
     if track == FE_TRACK:
         return "FE / coordinator"
+    if track == "waits":
+        # Wait intervals get their own Perfetto row so stall time is
+        # visually separate from compute (see repro.telemetry.waits).
+        return "Waits / stalls"
     prefix, __, suffix = track.partition(":")
     if prefix == "node":
         return f"DCP node {suffix}"

@@ -83,6 +83,11 @@ class Telemetry:
         #: unless ``TelemetryConfig.query_store_enabled`` — the disabled
         #: path costs the SQL runner one attribute check per statement).
         self.querystore = None
+        #: Wait-statistics collector attributing every stalled simulated
+        #: second (None unless ``TelemetryConfig.wait_stats_enabled`` —
+        #: the disabled path costs each blocking point one attribute
+        #: check).
+        self.waits = None
         _INSTANCES.append(weakref.ref(self))
 
     # -- span API (no-ops when tracing is off) -------------------------------

@@ -30,6 +30,12 @@ Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
                             stripped plan hashes and full plan text.
 ``sys.dm_exec_operator_stats``  Per-operator cardinality feedback: estimated
                             vs actual rows, simulated time, pruning.
+``sys.dm_wait_stats``       Wait statistics, one row per wait kind: count,
+                            total/max/p95 stalled seconds, attribution.
+``sys.dm_exec_query_waits``  Waits per query fingerprint x wait kind,
+                            joinable with ``sys.dm_exec_query_stats``.
+``sys.dm_commit_lock``      The commit lock: current holder, acquisitions,
+                            busy horizon, cumulative wait/hold seconds.
 ==========================  ==================================================
 
 Everything reads *live* state at query time; nothing here mutates the
@@ -368,6 +374,40 @@ class Introspector:
             ),
             "_dm_exec_operator_stats",
         ),
+        "sys.dm_wait_stats": (
+            Schema.of(
+                ("wait_kind", "string"),
+                ("waits", "int64"),
+                ("total_wait_s", "float64"),
+                ("mean_wait_s", "float64"),
+                ("max_wait_s", "float64"),
+                ("p95_wait_s", "float64"),
+                ("tenants", "string"),
+                ("workload_classes", "string"),
+            ),
+            "_dm_wait_stats",
+        ),
+        "sys.dm_exec_query_waits": (
+            Schema.of(
+                ("query_hash", "string"),
+                ("wait_kind", "string"),
+                ("waits", "int64"),
+                ("total_wait_s", "float64"),
+                ("max_wait_s", "float64"),
+            ),
+            "_dm_exec_query_waits",
+        ),
+        "sys.dm_commit_lock": (
+            Schema.of(
+                ("is_held", "bool"),
+                ("holder_txid", "int64"),
+                ("acquisitions", "int64"),
+                ("busy_until", "float64"),
+                ("total_wait_s", "float64"),
+                ("total_hold_s", "float64"),
+            ),
+            "_dm_commit_lock",
+        ),
     }
 
     def __init__(self, context: "ServiceContext") -> None:
@@ -680,6 +720,35 @@ class Introspector:
         if store is None:
             return []
         return store.operator_stats_rows()
+
+    def _dm_wait_stats(self) -> List[Dict[str, Any]]:
+        waits = self._context.telemetry.waits
+        if waits is None:
+            return []
+        return waits.wait_stats_rows()
+
+    def _dm_exec_query_waits(self) -> List[Dict[str, Any]]:
+        waits = self._context.telemetry.waits
+        if waits is None:
+            return []
+        return waits.query_waits_rows()
+
+    def _dm_commit_lock(self) -> List[Dict[str, Any]]:
+        # One row, always available: the lock itself keeps local
+        # aggregates, so holder/hold accounting needs neither metrics nor
+        # wait stats enabled.
+        lock = self._context.sqldb.commit_lock
+        holder = lock.holder_txid
+        return [
+            {
+                "is_held": lock.is_held,
+                "holder_txid": holder if holder is not None else 0,
+                "acquisitions": lock.acquisitions,
+                "busy_until": lock.busy_until,
+                "total_wait_s": lock.total_wait_s,
+                "total_hold_s": lock.total_hold_s,
+            }
+        ]
 
     # -- end-of-run report ----------------------------------------------------
 

@@ -52,6 +52,9 @@ METRIC_NAMES: Dict[str, str] = {
     "recovery.querystore_discarded": (
         "Crashed in-flight query-store executions discarded on restart."
     ),
+    "recovery.waits_discarded": (
+        "Open wait scopes discarded on restart (never counted as waits)."
+    ),
     "recovery.in_doubt_aborted": "In-doubt transactions aborted by recovery.",
     "recovery.in_doubt_committed": (
         "In-doubt transactions resolved committed by recovery."
@@ -73,6 +76,14 @@ METRIC_NAMES: Dict[str, str] = {
     "service.sessions_reaped": "Idle sessions closed by the reaper.",
     "service.shed": "Requests refused by admission, labeled by reason.",
     "service.timeouts": "Requests expired past their queue deadline.",
+    "sqldb.commit_lock_acquisitions": "Commit-lock acquisitions.",
+    "sqldb.commit_lock_hold_s": (
+        "Commit-lock hold durations (measured critical section plus the "
+        "modeled txn.commit_hold_s service time)."
+    ),
+    "sqldb.commit_lock_wait_s": (
+        "Time committers queued behind the commit lock before acquiring it."
+    ),
     "sto.checkpoints": "Checkpoints taken.",
     "sto.compactions": "Compaction runs, labeled by outcome.",
     "sto.files_rewritten": "Data files rewritten by compactions.",
@@ -105,6 +116,8 @@ METRIC_NAMES: Dict[str, str] = {
     "storage.retry_outcomes": "Retried operations, by label and outcome.",
     "storage.sim_latency_s": "Simulated latency charged, by op and mode.",
     "txn.commit_failures": "Failed commit attempts, labeled by error type.",
+    "waits.recorded": "Completed waits folded into the stats, by kind.",
+    "waits.wait_s": "Simulated seconds spent waiting, labeled by kind.",
     "txn.commits": "Successful transaction commits.",
     "txn.rollbacks": "Explicit transaction rollbacks.",
     "watchdog.alerts": "Watchdog rule firings, labeled by rule.",
@@ -141,4 +154,45 @@ SPAN_PREFIXES: Dict[str, str] = {
     "sql.": "One span per SQL statement, suffixed by statement kind.",
     "stmt.": "One span per session statement, suffixed by statement name.",
     "store.": "One span per object-store request, suffixed by operation.",
+    "wait.": "One span per recorded wait interval, suffixed by wait kind.",
+}
+
+#: Every wait-event kind, with its meaning.  The ``wait-naming`` lint rule
+#: enforces that each ``record_wait``/``waiting`` call site passes one of
+#: these literals — exactly the discipline ``metric-naming`` applies to
+#: instrument names, because ``sys.dm_wait_stats`` rows, watchdog rules
+#: and the critical-path profiler all address waits by kind.
+WAIT_NAMES: Dict[str, str] = {
+    "admission_queue": (
+        "Submit-to-dispatch time a request spent in its gateway class "
+        "queue before execution started."
+    ),
+    "commit_lock": (
+        "Time a committer queued behind the sqldb commit lock (the "
+        "serialized validation phase of Section 4.1.2)."
+    ),
+    "dcp_dispatch": (
+        "Time a ready DCP task waited for a free node slot before its "
+        "attempt could start."
+    ),
+    "queue_deadline": (
+        "Full queue wait of a request that expired past its deadline at "
+        "dispatch; the wait bought nothing."
+    ),
+    "session_pool": (
+        "Session-pool acquisition failures at dispatch (count-only: "
+        "acquisition never blocks, it fails fast on quota)."
+    ),
+    "sto_schedule": (
+        "Lag between a compaction trigger's due time and the tick that "
+        "actually ran it."
+    ),
+    "storage_retry": (
+        "Retry backoff charged to the simulated clock between failed "
+        "object-store attempts."
+    ),
+    "throttle": (
+        "Retry-after hint handed to a request shed by admission control "
+        "(the stall a well-behaved client honors before retrying)."
+    ),
 }

@@ -276,6 +276,7 @@ def default_rules(
     admission_queue_depth: float = 100.0,
     admission_queue_hold_s: float = 30.0,
     plan_regression_rate_per_s: float = 0.01,
+    commit_lock_saturation: float = 0.5,
 ) -> List[WatchdogRule]:
     """The stock rule set wired in by ``TelemetryConfig.watchdog_enabled``.
 
@@ -297,6 +298,10 @@ def default_rules(
     * ``integrity_unrepairable`` — the scrubber found at least one corrupt
       blob with no redundant source to rebuild from (permanent data loss;
       fires immediately, no hold).
+    * ``commit_lock_contention`` — committers accumulating more than
+      ``commit_lock_saturation`` seconds of commit-lock queue wait per
+      second of simulated time: the serialized validation phase has
+      become the bottleneck (the evidence the group-commit work needs).
     """
     return [
         WatchdogRule(
@@ -336,5 +341,11 @@ def default_rules(
             metric="storage.integrity_unrepairable",
             threshold=1.0,
             mode="value",
+        ),
+        WatchdogRule(
+            name="commit_lock_contention",
+            metric="sqldb.commit_lock_wait_s",
+            threshold=commit_lock_saturation,
+            mode="rate",
         ),
     ]

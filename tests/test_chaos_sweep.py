@@ -45,7 +45,7 @@ class TestCrashSweep:
 
 class TestDoubleCrash:
     def test_recovery_sites_registered(self):
-        assert len(RECOVERY_SITES) == 6
+        assert len(RECOVERY_SITES) == 7
         assert all(site.startswith("recovery.") for site in RECOVERY_SITES)
 
     def test_double_crash_workload_site_recovers(self):

@@ -167,6 +167,31 @@ EXPECTED_SCHEMAS = {
         ("row_groups", "int64"),
         ("row_groups_pruned", "int64"),
     ),
+    "sys.dm_wait_stats": (
+        ("wait_kind", "string"),
+        ("waits", "int64"),
+        ("total_wait_s", "float64"),
+        ("mean_wait_s", "float64"),
+        ("max_wait_s", "float64"),
+        ("p95_wait_s", "float64"),
+        ("tenants", "string"),
+        ("workload_classes", "string"),
+    ),
+    "sys.dm_exec_query_waits": (
+        ("query_hash", "string"),
+        ("wait_kind", "string"),
+        ("waits", "int64"),
+        ("total_wait_s", "float64"),
+        ("max_wait_s", "float64"),
+    ),
+    "sys.dm_commit_lock": (
+        ("is_held", "bool"),
+        ("holder_txid", "int64"),
+        ("acquisitions", "int64"),
+        ("busy_until", "float64"),
+        ("total_wait_s", "float64"),
+        ("total_hold_s", "float64"),
+    ),
 }
 
 
@@ -206,3 +231,50 @@ def test_dm_exec_views_sql_queryable_when_disabled(config):
         assert list(batch) == [c for c, _ in EXPECTED_SCHEMAS[view]]
         first = next(iter(batch.values()))
         assert len(first) == 0
+
+
+def test_wait_views_sql_queryable_when_disabled(config):
+    """Wait stats off: both wait views answer SQL empty with full schema."""
+    dw = Warehouse(config=config, auto_optimize=False)
+    session = dw.session()
+    assert dw.telemetry.waits is None
+    for view in ("sys.dm_wait_stats", "sys.dm_exec_query_waits"):
+        batch = session.sql(f"SELECT * FROM {view}")
+        assert list(batch) == [c for c, _ in EXPECTED_SCHEMAS[view]]
+        first = next(iter(batch.values()))
+        assert len(first) == 0
+
+
+def test_wait_views_dtypes_through_sql(config):
+    """With waits enabled and rows present, SQL output keeps schema dtypes."""
+    config.telemetry.wait_stats_enabled = True
+    dw = Warehouse(config=config, auto_optimize=False)
+    waits = dw.telemetry.waits
+    assert waits is not None
+    waits.record_wait(
+        "commit_lock", 0.25, tenant="acme", workload_class="etl",
+        query_hash="abc123",
+    )
+    session = dw.session()
+    for view in ("sys.dm_wait_stats", "sys.dm_exec_query_waits"):
+        batch = session.sql(f"SELECT * FROM {view}")
+        schema = Introspector.schema(view)
+        assert list(batch) == [f.name for f in schema.fields]
+        first = next(iter(batch.values()))
+        assert len(first) == 1
+        for field in schema.fields:
+            assert batch[field.name].dtype == np.dtype(field.numpy_dtype)
+
+
+def test_dm_commit_lock_reflects_lock_state(config):
+    """sys.dm_commit_lock reports acquisitions from real commits."""
+    dw = Warehouse(config=config, auto_optimize=False)
+    session = dw.session()
+    before = session.sql("SELECT acquisitions, is_held FROM sys.dm_commit_lock")
+    assert int(before["acquisitions"][0]) == 0
+    assert not bool(before["is_held"][0])
+    session.sql("CREATE TABLE locked_t (id bigint, v double)")
+    session.sql("INSERT INTO locked_t (id, v) VALUES (1, 2.5)")
+    after = session.sql("SELECT acquisitions, is_held FROM sys.dm_commit_lock")
+    assert int(after["acquisitions"][0]) > 0
+    assert not bool(after["is_held"][0])

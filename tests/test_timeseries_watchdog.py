@@ -217,7 +217,7 @@ class TestWatchdogUnit:
         with pytest.raises(ValueError):
             WatchdogRule(name="", metric="m", threshold=1.0)
 
-    def test_default_rules_cover_the_six_failure_modes(self):
+    def test_default_rules_cover_the_seven_failure_modes(self):
         rules = {rule.name: rule for rule in default_rules()}
         assert set(rules) == {
             "abort_rate_spike",
@@ -226,6 +226,7 @@ class TestWatchdogUnit:
             "admission_queue_saturation",
             "plan_latency_regression",
             "integrity_unrepairable",
+            "commit_lock_contention",
         }
         assert rules["abort_rate_spike"].mode == "rate"
         assert rules["red_table_lingering"].hold_s > 0
@@ -240,6 +241,10 @@ class TestWatchdogUnit:
         assert (
             rules["integrity_unrepairable"].metric
             == "storage.integrity_unrepairable"
+        )
+        assert rules["commit_lock_contention"].mode == "rate"
+        assert (
+            rules["commit_lock_contention"].metric == "sqldb.commit_lock_wait_s"
         )
 
 
