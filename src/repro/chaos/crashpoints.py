@@ -60,6 +60,15 @@ CRASHPOINTS: Dict[str, str] = {
         "writes installed and lock released, engine bookkeeping (commit "
         "counter, active-registry removal) not yet done"
     ),
+    # -- FE optimizer (ANALYZE / CREATE INDEX) -----------------------------
+    "fe.analyze.before_stats_put": (
+        "ANALYZE scanned the snapshot and computed statistics, catalog "
+        "row not yet buffered in the transaction"
+    ),
+    "fe.index.after_file_put": (
+        "CREATE INDEX wrote the index blob, catalog row not yet buffered "
+        "— an orphaned index file recovery must scavenge"
+    ),
     # -- STO: compaction (Section 5.1) -------------------------------------
     "sto.compaction.before_commit": (
         "compaction rewrote files and flushed its manifest, commit not yet "

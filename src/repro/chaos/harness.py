@@ -177,6 +177,14 @@ class ChaosWorkload:
             ),
         )
 
+    def _analyze_orders(self) -> None:
+        """Step: ANALYZE orders (persists a versioned stats row)."""
+        self.session.analyze_table("orders")
+
+    def _index_orders(self) -> None:
+        """Step: CREATE INDEX on orders.id (blob put, then catalog row)."""
+        self.session.create_index("orders", "idx_orders_id", "id")
+
     def _compact_orders(self) -> None:
         """Step: compact orders (every file is below the health floor)."""
         self.warehouse.sto.run_compaction(self.table_ids["orders"])
@@ -204,6 +212,8 @@ class ChaosWorkload:
             ("multi_statement_txn", self._multi_statement_txn, {"orders": 100}),
             ("update_orders", self._update_orders, {}),
             ("delete_orders", self._delete_orders, {"orders": -40}),
+            ("analyze_orders", self._analyze_orders, {}),
+            ("index_orders", self._index_orders, {}),
             ("compact_orders", self._compact_orders, {}),
             ("checkpoint_orders", self._checkpoint_orders, {}),
             ("age_and_gc", self._age_and_gc, {}),
@@ -314,6 +324,8 @@ def _referenced_paths(context) -> Set[str]:
                 referenced.add(row["manifest_path"])
             for ckpt in catalog.checkpoints_for_table(txn, table_id):
                 referenced.add(ckpt["path"])
+            for index_row in catalog.indexes_for_table(txn, table_id):
+                referenced.add(index_row["path"])
             if rows:
                 snapshot = context.cache.get(table_id, rows[-1]["sequence_id"])
                 referenced.update(i.path for i in snapshot.files.values())

@@ -68,6 +68,11 @@ class RecoveryReport:
     checkpoint_rows_dropped: List[str] = field(default_factory=list)
     #: Checkpoint blobs deleted because no catalog row references them.
     orphan_checkpoint_blobs_deleted: List[str] = field(default_factory=list)
+    #: Index catalog rows dropped because their blob is missing.
+    index_rows_dropped: List[str] = field(default_factory=list)
+    #: Index blobs deleted because no catalog row references them (an
+    #: index builder died between its blob put and its row commit).
+    orphan_index_blobs_deleted: List[str] = field(default_factory=list)
     #: Delta publishes completed/replayed for missing sequences.
     publishes_completed: int = 0
     #: Gateway requests found queued/running and marked ``scavenged``.
@@ -89,6 +94,8 @@ class RecoveryReport:
             and not self.missing_manifests
             and not self.checkpoint_rows_dropped
             and not self.orphan_checkpoint_blobs_deleted
+            and not self.index_rows_dropped
+            and not self.orphan_index_blobs_deleted
             and self.publishes_completed == 0
             and self.gateway_requests_scavenged == 0
             and self.querystore_profiles_discarded == 0
@@ -202,7 +209,9 @@ class RecoveryManager:
         context = self._context
         store = context.store
         referenced_checkpoints = set()
+        referenced_indexes = set()
         rows_to_drop = []  # (table_id, sequence_id, path)
+        index_rows_to_drop = []  # (table_id, index_name, path)
         txn = context.sqldb.begin()
         try:
             for table in catalog.list_tables(txn):
@@ -217,30 +226,46 @@ class RecoveryManager:
                         rows_to_drop.append(
                             (table_id, row["sequence_id"], row["path"])
                         )
+                for row in catalog.indexes_for_table(txn, table_id):
+                    if store.exists(row["path"]):
+                        referenced_indexes.add(row["path"])
+                    else:
+                        index_rows_to_drop.append(
+                            (table_id, row["index_name"], row["path"])
+                        )
         finally:
             txn.abort()
-        if rows_to_drop:
+        if rows_to_drop or index_rows_to_drop:
             cleanup = context.sqldb.begin()
             try:
                 for table_id, sequence_id, path in rows_to_drop:
                     cleanup.delete(catalog.CHECKPOINTS, (table_id, sequence_id))
                     report.checkpoint_rows_dropped.append(path)
+                # An index row without its blob: the index is a pure
+                # optimization (queries fall back to scanning), so the
+                # row is dropped rather than declared lost.
+                for table_id, index_name, path in index_rows_to_drop:
+                    cleanup.delete(catalog.INDEXES, (table_id, index_name))
+                    report.index_rows_dropped.append(path)
                 cleanup.commit()
             except BaseException:
                 if cleanup.state.value == "active":
                     cleanup.abort()
                 raise
-        # A checkpoint blob with no catalog row came from a checkpointer
-        # that died between its blob put and its row commit.  Deleting it
-        # here (rather than waiting for GC) lets a re-run checkpoint write
-        # the same deterministic path without colliding.
+        # A checkpoint (or index) blob with no catalog row came from a
+        # builder that died between its blob put and its row commit.
+        # Deleting it here (rather than waiting for GC) lets a re-run
+        # write the same deterministic path without colliding.
         prefix = f"internal/{context.database}/tables/"
         for blob in list(store.list(prefix)):
-            if "/_checkpoints/" not in blob.path:
-                continue
-            if blob.path not in referenced_checkpoints:
-                store.delete(blob.path)
-                report.orphan_checkpoint_blobs_deleted.append(blob.path)
+            if "/_checkpoints/" in blob.path:
+                if blob.path not in referenced_checkpoints:
+                    store.delete(blob.path)
+                    report.orphan_checkpoint_blobs_deleted.append(blob.path)
+            elif "/_indexes/" in blob.path:
+                if blob.path not in referenced_indexes:
+                    store.delete(blob.path)
+                    report.orphan_index_blobs_deleted.append(blob.path)
 
     def _scavenge_gateway(self, report: RecoveryReport) -> None:
         """Step 5b: no admitted request may stay queued/running after death.

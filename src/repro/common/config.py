@@ -180,6 +180,40 @@ class ServiceConfig:
 
 
 @dataclass
+class OptimizerConfig:
+    """Cost-based optimizer knobs (statistics, indexes, join planning).
+
+    With ``enabled`` on but no collected statistics, the optimizer is an
+    identity transform: plans keep the binder's join order and the
+    default ``hash`` algorithm, so behaviour (and every byte of output)
+    is unchanged until someone runs ``ANALYZE``.
+    """
+
+    #: Master switch for cost-based plan rewrites (reordering, algorithm
+    #: choice, transitive predicate pushdown, index pruning).
+    enabled: bool = True
+    #: Buckets per equi-depth histogram collected by ANALYZE.
+    histogram_buckets: int = 8
+    #: A query-store operator misestimate (max(est,actual)/min(est,actual))
+    #: at or above this ratio feeds back into the next ANALYZE as a
+    #: per-table correction factor.
+    misestimate_threshold: float = 2.0
+    #: STO auto-analyze: re-collect a table's statistics once this many
+    #: rows were ingested since the last ANALYZE.  0 disables the job.
+    auto_analyze_rows: int = 0
+    #: Allow the optimizer to swap join inputs / reorder join chains.
+    join_reordering: bool = True
+    #: Allow equality conjuncts to prune data files through secondary
+    #: indexes (beyond zone maps).
+    index_pruning: bool = True
+    #: Rows per block for the block-nested-loop operator (cost model and
+    #: executor agree on this).
+    block_nl_rows: int = 256
+    #: Feedback correction factors are clamped to [1/cap, cap].
+    feedback_factor_cap: float = 1000.0
+
+
+@dataclass
 class TransactionConfig:
     """Transaction-manager behaviour (Section 4)."""
 
@@ -209,6 +243,7 @@ class PolarisConfig:
     txn: TransactionConfig = field(default_factory=TransactionConfig)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     #: Target rows per data cell; drives how DML output is split into files.
     rows_per_cell: int = 100_000
     #: Rows per row group inside data files (zone-map granularity).
@@ -287,3 +322,13 @@ class PolarisConfig:
             raise ValueError("service.retry_after_jitter must be in [0, 1]")
         if self.service.finished_history_cap <= 0:
             raise ValueError("service.finished_history_cap must be positive")
+        if self.optimizer.histogram_buckets < 1:
+            raise ValueError("optimizer.histogram_buckets must be >= 1")
+        if self.optimizer.misestimate_threshold < 1.0:
+            raise ValueError("optimizer.misestimate_threshold must be >= 1")
+        if self.optimizer.auto_analyze_rows < 0:
+            raise ValueError("optimizer.auto_analyze_rows must be >= 0")
+        if self.optimizer.block_nl_rows < 1:
+            raise ValueError("optimizer.block_nl_rows must be >= 1")
+        if self.optimizer.feedback_factor_cap < 1.0:
+            raise ValueError("optimizer.feedback_factor_cap must be >= 1")

@@ -43,12 +43,13 @@ def execute_plan(plan: Plan, scan_source: ScanSource) -> Batch:
     if isinstance(plan, Project):
         return operators.project(execute_plan(plan.child, scan_source), plan.outputs)
     if isinstance(plan, Join):
-        return operators.hash_join(
+        return operators.join(
             execute_plan(plan.left, scan_source),
             execute_plan(plan.right, scan_source),
             plan.left_keys,
             plan.right_keys,
             plan.how,
+            plan.algorithm,
         )
     if isinstance(plan, Aggregate):
         return operators.aggregate(

@@ -129,6 +129,9 @@ class PlanProfile:
     stats: Dict[int, OperatorStats]
     #: Planner-estimated output rows keyed by ``id(plan_node)``.
     estimates: Dict[int, int] = field(default_factory=dict)
+    #: The physical plan actually executed (after cost-based optimizer
+    #: rewrites); None when the caller's plan ran unmodified.
+    plan: Optional[Plan] = None
 
 
 def misestimate_ratio(est_rows: float, actual_rows: float) -> float:
@@ -143,27 +146,67 @@ def misestimate_ratio(est_rows: float, actual_rows: float) -> float:
     return max(actual / est, est / actual)
 
 
-#: Fraction of input rows assumed to survive a predicate (the classic
-#: System R default for an inequality).
-PREDICATE_SELECTIVITY = 1.0 / 3.0
+@dataclass(frozen=True)
+class DefaultSelectivity:
+    """Textbook fallback selectivities, used only without collected stats.
 
-#: Fraction of a scan's rows assumed to survive zone-map pruning.
-PRUNE_SELECTIVITY = 0.5
+    The classic System R defaults: a predicate keeps one third of its
+    input, zone-map pruning keeps one half, a grouped aggregate emits
+    ``sqrt(input)`` groups.  The cost-based optimizer replaces every one
+    of these with histogram/NDV-derived numbers once ``ANALYZE`` has run
+    on the tables involved (:mod:`repro.optimizer.cardinality`); when it
+    does, the per-node provenance map records ``stats`` instead of
+    ``default`` so EXPLAIN shows which path produced each estimate.
+    """
+
+    #: Fraction of input rows assumed to survive a predicate.
+    predicate: float = 1.0 / 3.0
+    #: Fraction of a scan's rows assumed to survive zone-map pruning.
+    prune: float = 0.5
+
+    def group_count(self, input_rows: float) -> float:
+        """Assumed distinct-group count of a grouped aggregate."""
+        return math.ceil(math.sqrt(input_rows))
+
+
+#: The shared default-selectivity table.
+DEFAULT_SELECTIVITY = DefaultSelectivity()
+
+#: Estimate-provenance tags recorded per plan node: ``default`` means a
+#: :class:`DefaultSelectivity` guess, ``stats`` means collected ANALYZE
+#: statistics drove the number.
+PROVENANCE_DEFAULT = "default"
+PROVENANCE_STATS = "stats"
+
+
+def clamp_estimate(value: float) -> int:
+    """Round an estimate; a nonzero fraction means "some rows", never zero."""
+    if value >= 1.0:
+        return int(round(value))
+    return 1 if value > 0 else 0
 
 
 def estimate_cardinalities(
-    plan: Plan, scan_rows: Dict[int, float]
+    plan: Plan,
+    scan_rows: Dict[int, float],
+    provenance: Optional[Dict[int, str]] = None,
+    selectivity: DefaultSelectivity = DEFAULT_SELECTIVITY,
 ) -> Dict[int, int]:
     """First-order estimated output rows per operator, keyed by id(node).
 
     ``scan_rows`` maps ``id(scan_node)`` to the table's live row count
-    (file rows minus deletion-vector cardinalities), the only statistic
-    the catalog maintains today.  Textbook defaults cover the rest:
-    predicates keep 1/3 of rows, pruning keeps 1/2, joins carry the
-    larger input, grouped aggregates emit ``sqrt(input)`` groups.  The
-    point is not precision — it is producing an estimate the query store
-    can compare against actuals, turning misestimates into recorded
-    feedback.
+    (file rows minus deletion-vector cardinalities) — the statistic the
+    snapshot manifest maintains without any ANALYZE.  The
+    :class:`DefaultSelectivity` table covers the rest: predicates keep
+    1/3 of rows, pruning keeps 1/2, joins carry the larger input,
+    grouped aggregates emit ``sqrt(input)`` groups.  The point is not
+    precision — it is producing an estimate the query store can compare
+    against actuals, turning misestimates into recorded feedback.
+
+    Every node's estimate is tagged :data:`PROVENANCE_DEFAULT` in
+    ``provenance`` (when given); the stats-driven estimator in
+    :mod:`repro.optimizer.cardinality` is the path that tags
+    :data:`PROVENANCE_STATS`.
     """
     estimates: Dict[int, int] = {}
 
@@ -171,32 +214,50 @@ def estimate_cardinalities(
         if isinstance(node, TableScan):
             value = float(scan_rows.get(id(node), 0.0))
             if node.prune:
-                value *= PRUNE_SELECTIVITY
+                value *= selectivity.prune
             if node.predicate is not None:
-                value *= PREDICATE_SELECTIVITY
+                value *= selectivity.predicate
         elif isinstance(node, Filter):
-            value = walk(node.child) * PREDICATE_SELECTIVITY
+            value = walk(node.child) * selectivity.predicate
         elif isinstance(node, Project):
             value = walk(node.child)
         elif isinstance(node, Join):
             value = max(walk(node.left), walk(node.right))
         elif isinstance(node, Aggregate):
             child = walk(node.child)
-            value = math.ceil(math.sqrt(child)) if node.group_keys else 1.0
+            value = selectivity.group_count(child) if node.group_keys else 1.0
         elif isinstance(node, Sort):
             value = walk(node.child)
         elif isinstance(node, Limit):
             value = min(walk(node.child), float(node.count))
         else:
             raise PlanError(f"unknown plan node {node!r}")
-        # A nonzero fractional estimate means "some rows", never zero.
-        estimates[id(node)] = int(round(value)) if value >= 1.0 else (
-            1 if value > 0 else 0
-        )
+        estimates[id(node)] = clamp_estimate(value)
+        if provenance is not None:
+            provenance[id(node)] = PROVENANCE_DEFAULT
         return value
 
     walk(plan)
     return estimates
+
+
+#: Display names of the physical join algorithms (plan text, operator
+#: labels, DMV rows).  ``hash`` keeps its historical ``HashJoin`` label
+#: so default plan hashes are unchanged.
+JOIN_ALGORITHM_LABELS = {
+    "hash": "HashJoin",
+    "sort_merge": "SortMergeJoin",
+    "index_nl": "IndexNLJoin",
+    "block_nl": "BlockNLJoin",
+}
+
+
+def join_label(node: Join) -> str:
+    """Display name of one Join node's chosen algorithm."""
+    try:
+        return JOIN_ALGORITHM_LABELS[node.algorithm]
+    except KeyError:
+        raise PlanError(f"unknown join algorithm {node.algorithm!r}") from None
 
 
 def operator_labels(plan: Plan) -> List[Tuple[int, Plan, str]]:
@@ -214,7 +275,7 @@ def operator_labels(plan: Plan) -> List[Tuple[int, Plan, str]]:
         elif isinstance(node, Project):
             label = "Project"
         elif isinstance(node, Join):
-            label = f"HashJoin[{node.how}]"
+            label = f"{join_label(node)}[{node.how}]"
         elif isinstance(node, Aggregate):
             label = "Aggregate"
         elif isinstance(node, Sort):
@@ -282,6 +343,8 @@ def explain_analyze(
     cost_model=None,
     scan_details: Optional[Dict[int, Dict[str, Any]]] = None,
     estimates: Optional[Dict[int, int]] = None,
+    provenance: Optional[Dict[int, str]] = None,
+    costs: Optional[Dict[int, float]] = None,
 ) -> AnalyzeResult:
     """Execute ``plan`` and annotate each operator with observed stats.
 
@@ -293,20 +356,28 @@ def explain_analyze(
     input rows — the same first-order model the FE charges the clock with.
     ``estimates`` (from :func:`estimate_cardinalities`) adds an
     ``est=``/``ratio=`` column per operator so cardinality misestimates
-    are visible interactively.
+    are visible interactively.  ``provenance`` (node id → ``stats`` /
+    ``default``) and ``costs`` (node id → optimizer cost units) add
+    ``stats=`` and ``cost=`` columns when the cost-based optimizer
+    supplied them.
     """
     stats: Dict[int, OperatorStats] = {}
     batch = _run_analyzed(
         plan, scan_source, stats, clock, cost_model, scan_details or {}
     )
     estimates = estimates or {}
+    provenance = provenance or {}
+    costs = costs or {}
     lines: List[str] = []
     _walk(
         plan,
         0,
         lines,
         annotate=lambda node: _annotation(
-            stats.get(id(node)), estimates.get(id(node))
+            stats.get(id(node)),
+            estimates.get(id(node)),
+            provenance.get(id(node)),
+            costs.get(id(node)),
         ),
     )
     return AnalyzeResult(
@@ -372,8 +443,13 @@ def _run_analyzed(
         result = operators.project(children[0], plan.outputs)
     elif isinstance(plan, Join):
         children = [recurse(plan.left), recurse(plan.right)]
-        result = operators.hash_join(
-            children[0], children[1], plan.left_keys, plan.right_keys, plan.how
+        result = operators.join(
+            children[0],
+            children[1],
+            plan.left_keys,
+            plan.right_keys,
+            plan.how,
+            plan.algorithm,
         )
     elif isinstance(plan, Aggregate):
         children = [recurse(plan.child)]
@@ -398,7 +474,10 @@ def _run_analyzed(
 
 
 def _annotation(
-    node_stats: Optional[OperatorStats], est_rows: Optional[int] = None
+    node_stats: Optional[OperatorStats],
+    est_rows: Optional[int] = None,
+    provenance: Optional[str] = None,
+    cost: Optional[float] = None,
 ) -> str:
     if node_stats is None:
         return ""
@@ -406,6 +485,10 @@ def _annotation(
     if est_rows is not None:
         parts.append(f"est={est_rows}")
         parts.append(f"ratio={misestimate_ratio(est_rows, node_stats.rows):.2f}x")
+    if provenance is not None:
+        parts.append(f"stats={provenance}")
+    if cost is not None:
+        parts.append(f"cost={cost:.1f}")
     if node_stats.sim_time_s is not None:
         parts.append(f"time={node_stats.sim_time_s:.3f}s")
     details = node_stats.details
@@ -457,7 +540,7 @@ def _walk(
         keys = ", ".join(
             f"{l}={r}" for l, r in zip(plan.left_keys, plan.right_keys)
         )
-        lines.append(f"{pad}HashJoin[{plan.how}] on ({keys})" + suffix)
+        lines.append(f"{pad}{join_label(plan)}[{plan.how}] on ({keys})" + suffix)
         _walk(plan.left, depth + 1, lines, annotate)
         _walk(plan.right, depth + 1, lines, annotate)
         return

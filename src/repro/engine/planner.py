@@ -6,15 +6,22 @@ them once (Section 3.3's single-phase compilation) and the executor in
 read path.  Scan nodes carry an optional pushed-down predicate of
 ``(column, op, literal)`` conjuncts used for row-group pruning at the
 storage layer, in addition to the full residual predicate tree.
+
+The :class:`Join` node is *physical* as well as logical: it names the
+join algorithm the executor must run (``hash`` by default; the
+cost-based optimizer in :mod:`repro.optimizer` may rewrite it to
+``sort_merge``, ``index_nl`` or ``block_nl``).  Every algorithm
+produces byte-identical output, so the choice only affects cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.common.errors import PlanError
 from repro.engine.expressions import Expr
-from repro.engine.operators import AggSpec
+from repro.engine.operators import JOIN_ALGORITHMS, AggSpec
 
 
 @dataclass(frozen=True)
@@ -47,13 +54,23 @@ class Project:
 
 @dataclass(frozen=True)
 class Join:
-    """Hash join of two subplans."""
+    """Equi-join of two subplans under a named physical algorithm.
+
+    ``algorithm`` is one of :data:`repro.engine.operators.JOIN_ALGORITHMS`
+    (``hash``, ``sort_merge``, ``index_nl``, ``block_nl``).  All produce
+    the same rows in the same order; the optimizer picks the cheapest.
+    """
 
     left: "Plan"
     right: "Plan"
     left_keys: Tuple[str, ...]
     right_keys: Tuple[str, ...]
     how: str = "inner"
+    algorithm: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in JOIN_ALGORITHMS:
+            raise PlanError(f"unknown join algorithm {self.algorithm!r}")
 
 
 @dataclass(frozen=True)
@@ -83,18 +100,32 @@ class Limit:
 
 Plan = Union[TableScan, Filter, Project, Join, Aggregate, Sort, Limit]
 
+#: Plan nodes with exactly one ``child`` subplan.
+_UNARY_NODES = (Filter, Project, Aggregate, Sort, Limit)
+
 
 def scans_of(plan: Plan) -> List[TableScan]:
-    """All TableScan leaves of a plan, left-to-right."""
+    """All TableScan leaves of a plan, left-to-right.
+
+    Raises :class:`PlanError` on an unknown node type instead of
+    guessing a traversal — misattributing a scan would silently corrupt
+    cardinality estimates and snapshot resolution downstream.
+    """
     if isinstance(plan, TableScan):
         return [plan]
     if isinstance(plan, Join):
         return scans_of(plan.left) + scans_of(plan.right)
-    return scans_of(plan.child)
+    if isinstance(plan, _UNARY_NODES):
+        return scans_of(plan.child)
+    raise PlanError(f"unknown plan node {plan!r}")
 
 
 def tables_of(plan: Plan) -> List[str]:
-    """Distinct base tables referenced, in first-occurrence order."""
+    """Distinct base tables referenced, in first-occurrence order.
+
+    Inherits the loud-failure behavior of :func:`scans_of` for unknown
+    plan node types.
+    """
     tables: List[str] = []
     for scan in scans_of(plan):
         if scan.table not in tables:

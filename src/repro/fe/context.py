@@ -26,6 +26,7 @@ from repro.telemetry.facade import Telemetry
 from repro.telemetry.timeseries import MetricsSampler, Watchdog, default_rules
 
 if TYPE_CHECKING:
+    from repro.optimizer.manager import QueryOptimizer
     from repro.service.gateway import Gateway
     from repro.telemetry.introspection import Introspector
 
@@ -51,6 +52,10 @@ class ServiceContext:
     #: Resolves ``sys.dm_*`` system-view names (attached after
     #: construction, like the cache — it subscribes to the bus).
     introspection: "Optional[Introspector]" = None
+    #: Cost-based query optimizer: ANALYZE statistics, secondary indexes
+    #: and plan rewriting (attached after construction; it reads the
+    #: catalog through each statement's transaction).
+    optimizer: "Optional[QueryOptimizer]" = None
     #: The multi-tenant gateway fronting this deployment, if one was
     #: constructed (it attaches itself; ``sys.dm_sessions`` /
     #: ``sys.dm_requests`` read it and recovery scavenges it).
@@ -114,6 +119,11 @@ class ServiceContext:
         from repro.telemetry.introspection import Introspector
 
         context.introspection = Introspector(context)
+        # The optimizer needs the assembled context (store, clock, cost
+        # model, telemetry) to scan snapshots and charge IO.
+        from repro.optimizer.manager import QueryOptimizer
+
+        context.optimizer = QueryOptimizer(context)
         if config.telemetry.query_store_enabled:
             from repro.telemetry.querystore import QueryStore
 

@@ -1,0 +1,52 @@
+"""Persistence steps of ANALYZE and CREATE INDEX, with crash windows.
+
+The optimizer (:mod:`repro.optimizer.manager`) computes statistics and
+index contents; the two functions here perform the actual durable
+writes, because they are where a process can die mid-protocol:
+
+* ``persist_table_stats`` — the stats row is buffered in the caller's
+  transaction; a crash *before* the put leaves the catalog untouched
+  (nothing was durable yet), the baseline every later state must degrade
+  to gracefully.
+* ``publish_index`` — the index blob is written to the object store
+  *before* the catalog row is buffered.  A crash in the window between
+  the two leaves an orphaned ``_indexes/`` blob that recovery's catalog
+  reconciliation scavenges, exactly like orphaned checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.chaos.crashpoints import crashpoint
+from repro.sqldb import system_tables as catalog
+
+if TYPE_CHECKING:
+    from repro.fe.context import ServiceContext
+    from repro.fe.transaction import PolarisTransaction
+    from repro.optimizer.statistics import TableStatistics
+
+
+def persist_table_stats(
+    txn: "PolarisTransaction", table_id: int, stats: "TableStatistics"
+) -> None:
+    """Buffer a versioned ``TableStats`` row in the caller's transaction."""
+    crashpoint("fe.analyze.before_stats_put")
+    catalog.put_table_stats(
+        txn.root, table_id, stats.sequence_id, stats.to_row()
+    )
+
+
+def publish_index(
+    context: "ServiceContext",
+    txn: "PolarisTransaction",
+    table_id: int,
+    index_name: str,
+    path: str,
+    data: bytes,
+    payload: Dict[str, Any],
+) -> None:
+    """Write the index blob, then buffer its ``Indexes`` catalog row."""
+    context.store.put(path, data)
+    crashpoint("fe.index.after_file_put")
+    catalog.put_index(txn.root, table_id, index_name, payload)

@@ -62,10 +62,17 @@ def scan_table(
     )
     # File-level pruning: manifests carry per-file zone maps, so whole
     # files that cannot match are dropped before any cell is scheduled.
-    # Health statistics are reported over the *unpruned* snapshot.
+    # Secondary indexes prune further: equality conjuncts drop covered
+    # files the index proves cannot match (hash-distributed keys defeat
+    # zone maps, but not a sorted run).  Health statistics are reported
+    # over the *unpruned* snapshot.
     full_snapshot = snapshot
     if scan.prune:
         snapshot = _prune_snapshot(snapshot, scan.prune)
+        if context.optimizer is not None:
+            snapshot = context.optimizer.prune_snapshot(
+                txn.root, table_id, scan.prune, snapshot
+            )
     if report is not None:
         report["files"] = len(full_snapshot.files)
         report["files_pruned"] = len(full_snapshot.files) - len(snapshot.files)
@@ -141,6 +148,33 @@ def scan_table(
     return out
 
 
+def optimize_plan(
+    context: ServiceContext, txn: PolarisTransaction, plan: Plan
+) -> Plan:
+    """Run the cost-based rewrite pass over ``plan`` (identity without
+    statistics for every referenced table, or with the optimizer off)."""
+    if context.optimizer is None:
+        return plan
+    rewritten, _ = context.optimizer.rewrite(txn, plan)
+    return rewritten
+
+
+def _annotations(
+    context: ServiceContext,
+    txn: PolarisTransaction,
+    plan: Plan,
+    scan_details: "Dict[int, Dict[str, Any]]",
+):
+    """(estimates, provenance, costs) for EXPLAIN-style rendering."""
+    scan_rows = {
+        scan_id: float(report.get("est_rows", 0))
+        for scan_id, report in scan_details.items()
+    }
+    if context.optimizer is not None:
+        return context.optimizer.annotate(txn, plan, scan_rows)
+    return estimate_cardinalities(plan, scan_rows), None, None
+
+
 def execute_query(
     context: ServiceContext,
     txn: PolarisTransaction,
@@ -149,11 +183,14 @@ def execute_query(
 ) -> Batch:
     """Execute a full query plan within ``txn``'s snapshot.
 
-    Each base scan runs as its own distributed DAG; the residual plan
-    (joins, aggregation, sort) runs at the root, with its CPU cost charged
-    to the simulated clock.  With ``as_of``, every scan reads the tables'
-    state at that timestamp instead (Query As Of).
+    The plan first passes through the cost-based optimizer (a no-op
+    until statistics exist); each base scan then runs as its own
+    distributed DAG; the residual plan (joins, aggregation, sort) runs
+    at the root, with its CPU cost charged to the simulated clock.  With
+    ``as_of``, every scan reads the tables' state at that timestamp
+    instead (Query As Of).
     """
+    plan = optimize_plan(context, txn, plan)
     scanned: Dict[int, Batch] = {}
     scan_rows = 0
 
@@ -184,11 +221,14 @@ def execute_query_analyzed(
 ) -> AnalyzeResult:
     """EXPLAIN ANALYZE: run ``plan`` like :func:`execute_query`, annotated.
 
-    Identical execution path — distributed scans through the DCP, residual
-    plan at the root, root CPU cost charged to the clock — but every scan
-    collects a pruning/row report and every operator is timed, so the
-    result carries the annotated operator tree alongside the batch.
+    Identical execution path — optimizer rewrite, distributed scans
+    through the DCP, residual plan at the root, root CPU cost charged to
+    the clock — but every scan collects a pruning/row report and every
+    operator is timed, so the result carries the annotated operator tree
+    alongside the batch (estimates tagged with their ``stats``/``default``
+    provenance and optimizer cost when statistics exist).
     """
+    plan = optimize_plan(context, txn, plan)
     scanned: Dict[int, Batch] = {}
     scan_details: Dict[int, Dict[str, Any]] = {}
     scan_rows = 0
@@ -211,12 +251,8 @@ def execute_query_analyzed(
         scan_details[id(scan)] = report
         scan_rows += num_rows(batch)
 
-    estimates = estimate_cardinalities(
-        plan,
-        {
-            scan_id: float(report.get("est_rows", 0))
-            for scan_id, report in scan_details.items()
-        },
+    estimates, provenance, costs = _annotations(
+        context, txn, plan, scan_details
     )
     result = explain_analyze(
         plan,
@@ -224,6 +260,8 @@ def execute_query_analyzed(
         cost_model=context.cost_model,
         scan_details=scan_details,
         estimates=estimates,
+        provenance=provenance,
+        costs=costs,
     )
     root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
     context.clock.advance(root_cost)
@@ -242,8 +280,11 @@ def execute_query_profiled(
     :func:`execute_query` (distributed scans, root CPU cost), plus the
     same pruning reports and operator stats as
     :func:`execute_query_analyzed` minus the annotated-tree rendering —
-    cheap enough to run on every statement.
+    cheap enough to run on every statement.  The returned profile
+    carries the *optimized* plan so the query store fingerprints what
+    actually ran.
     """
+    plan = optimize_plan(context, txn, plan)
     scanned: Dict[int, Batch] = {}
     scan_details: Dict[int, Dict[str, Any]] = {}
     scan_rows = 0
@@ -266,19 +307,13 @@ def execute_query_profiled(
         scan_details[id(scan)] = report
         scan_rows += num_rows(batch)
 
-    estimates = estimate_cardinalities(
-        plan,
-        {
-            scan_id: float(report.get("est_rows", 0))
-            for scan_id, report in scan_details.items()
-        },
-    )
+    estimates, _, _ = _annotations(context, txn, plan, scan_details)
     batch, stats = run_with_stats(
         plan, source, cost_model=context.cost_model, scan_details=scan_details
     )
     root_cost = context.cost_model.task_duration(scan_rows, 0, 0)
     context.clock.advance(root_cost)
-    return PlanProfile(batch=batch, stats=stats, estimates=estimates)
+    return PlanProfile(batch=batch, stats=stats, estimates=estimates, plan=plan)
 
 
 def _prune_snapshot(snapshot: TableSnapshot, prune) -> TableSnapshot:

@@ -223,6 +223,51 @@ class Session:
             name="explain_analyze",
         )
 
+    def analyze_table(self, table: str):
+        """ANALYZE: collect and persist optimizer statistics for a table.
+
+        Scans the transaction's snapshot of ``table`` (charging the IO
+        and CPU to the simulated clock) and buffers a versioned
+        ``TableStats`` catalog row; commit makes it visible atomically.
+        Returns the collected
+        :class:`~repro.optimizer.statistics.TableStatistics`.
+        """
+        def statement(txn: PolarisTransaction):
+            optimizer: "QueryOptimizer" = self._require_optimizer()
+            return optimizer.analyze_table(txn, table)
+
+        return self._run(statement, name="analyze", table=table)
+
+    def create_index(self, table: str, index_name: str, column: str):
+        """CREATE INDEX: build a sorted-run secondary index over a column.
+
+        Returns the catalog payload (path, entries, covered files).
+        """
+        def statement(txn: PolarisTransaction):
+            optimizer: "QueryOptimizer" = self._require_optimizer()
+            return optimizer.create_index(txn, table, index_name, column)
+
+        return self._run(statement, name="create_index", table=table)
+
+    def optimized_plan(self, plan: Plan) -> Plan:
+        """The plan after the cost-based rewrite (EXPLAIN's view).
+
+        Opens a throwaway read transaction to resolve statistics and
+        indexes; the plan is not executed.
+        """
+        txn = PolarisTransaction(self._context)
+        try:
+            return read_path.optimize_plan(self._context, txn, plan)
+        finally:
+            txn.rollback()
+
+    def _require_optimizer(self):
+        if self._context.optimizer is None:
+            raise TransactionStateError(
+                "this deployment has no query optimizer attached"
+            )
+        return self._context.optimizer
+
     def clone_table(
         self, source: str, target: str, as_of: Optional[float] = None
     ) -> int:

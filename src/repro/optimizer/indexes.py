@@ -1,0 +1,103 @@
+"""Secondary indexes: sorted runs of (key, data-file) pairs.
+
+``CREATE INDEX name ON table (column)`` scans the table's snapshot and
+writes one *index file* in the pagefile format: two columns — the
+indexed key and the data-file name — sorted by ``(key, file)`` with
+duplicate pairs collapsed.  The catalog row (``Indexes`` system table)
+records the file's path, the snapshot sequence it was built from, and
+the exact data-file names it covers.
+
+Covered-file bookkeeping is the staleness defence: the read path prunes
+*only* files the index covers, so data files committed after the build
+are always scanned.  A stale index is therefore merely less effective,
+never incorrect; the STO refreshes indexes after commits and compaction
+as an optimization.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
+
+import numpy as np
+
+from repro.pagefile.file_format import write_page_file
+from repro.pagefile.reader import PageFileReader
+from repro.pagefile.schema import Field, Schema
+
+#: Column holding data-file names inside index files.
+FILE_COLUMN = "__file__"
+
+
+def index_schema(key_field: Field) -> Schema:
+    """Pagefile schema of an index over ``key_field``."""
+    return Schema.of((key_field.name, key_field.type), (FILE_COLUMN, "string"))
+
+
+def build_index_bytes(
+    key_field: Field, pairs: List[Tuple[Any, str]], row_group_size: int
+) -> Tuple[bytes, int]:
+    """Serialize deduplicated sorted (key, file) pairs into an index file.
+
+    Returns ``(file_bytes, entry_count)``.
+    """
+    unique = sorted(set(pairs))
+    keys = [key for key, _ in unique]
+    files = [name for _, name in unique]
+    schema = index_schema(key_field)
+    columns = {
+        key_field.name: np.asarray(keys, dtype=key_field.numpy_dtype),
+        FILE_COLUMN: np.asarray(files, dtype=object),
+    }
+    return write_page_file(schema, columns, row_group_size), len(unique)
+
+
+@dataclass(frozen=True)
+class SortedRunIndex:
+    """A loaded index: sorted keys with their data-file names."""
+
+    column: str
+    #: Sorted key values (plain Python list, so bisect comparisons work
+    #: uniformly for ints, floats and strings).
+    keys: List[Any]
+    #: Data-file name per key entry (parallel to ``keys``).
+    files: List[str]
+    #: Every data-file name the build scan saw — the only files this
+    #: index is allowed to prune.
+    covered: FrozenSet[str]
+
+    @classmethod
+    def from_bytes(
+        cls, column: str, data: bytes, covered: List[str], source: str = ""
+    ) -> "SortedRunIndex":
+        """Parse an index file's bytes."""
+        reader = PageFileReader(data, source=source or None)
+        batch = reader.read()
+        return cls(
+            column=column,
+            keys=[_plain(v) for v in batch[column]],
+            files=[str(v) for v in batch[FILE_COLUMN]],
+            covered=frozenset(covered),
+        )
+
+    def files_for_equality(self, literal: Any) -> Set[str]:
+        """Data files that contain at least one row with ``key == literal``."""
+        lo = bisect_left(self.keys, literal)
+        hi = bisect_right(self.keys, literal)
+        return set(self.files[lo:hi])
+
+    def prunable_files(self, literal: Any, candidates: Set[str]) -> Set[str]:
+        """Covered candidate files proven not to contain ``literal``."""
+        matching = self.files_for_equality(literal)
+        return {
+            name
+            for name in candidates
+            if name in self.covered and name not in matching
+        }
+
+
+def _plain(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

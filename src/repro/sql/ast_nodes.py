@@ -173,6 +173,22 @@ class CreateTableStatement:
 
 
 @dataclass
+class CreateIndexStatement:
+    """CREATE INDEX name ON t (column)."""
+
+    index_name: str
+    table: str
+    column: str
+
+
+@dataclass
+class AnalyzeStatement:
+    """ANALYZE [TABLE] t — collect optimizer statistics."""
+
+    table: str
+
+
+@dataclass
 class TransactionStatement:
     """BEGIN / COMMIT / ROLLBACK."""
 

@@ -19,6 +19,7 @@ KEYWORDS = {
     "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "CREATE", "TABLE",
     "WITH", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "DATE", "NULL",
     "TRUE", "FALSE", "SUM", "MIN", "MAX", "AVG", "COUNT", "YEAR", "SUBSTRING",
+    "ANALYZE", "INDEX",
 }
 
 #: Multi-character operators, longest first.

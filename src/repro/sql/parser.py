@@ -6,6 +6,8 @@ import datetime
 from typing import Any, List, Optional, Tuple
 
 from repro.sql.ast_nodes import (
+    AnalyzeStatement,
+    CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
     InsertStatement,
@@ -121,7 +123,9 @@ class _Parser:
         elif self._at_keyword("UPDATE"):
             statement = self._update()
         elif self._at_keyword("CREATE"):
-            statement = self._create_table()
+            statement = self._create()
+        elif self._at_keyword("ANALYZE"):
+            statement = self._analyze()
         elif self._accept_keyword("BEGIN"):
             self._accept_keyword("TRANSACTION")
             statement = TransactionStatement("begin")
@@ -264,6 +268,31 @@ class _Parser:
         column = self._expect_ident()
         self._expect_op("=")
         return column, self._expr()
+
+    def _create(self) -> Statement:
+        """CREATE TABLE ... or CREATE INDEX name ON table (column)."""
+        following = self._tokens[self._pos + 1]
+        if following.kind == "keyword" and following.value == "INDEX":
+            return self._create_index()
+        return self._create_table()
+
+    def _create_index(self) -> CreateIndexStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("INDEX")
+        index_name = self._expect_ident()
+        self._expect_keyword("ON")
+        table = self._table_name()
+        self._expect_op("(")
+        column = self._expect_ident()
+        self._expect_op(")")
+        return CreateIndexStatement(
+            index_name=index_name, table=table, column=column
+        )
+
+    def _analyze(self) -> AnalyzeStatement:
+        self._expect_keyword("ANALYZE")
+        self._accept_keyword("TABLE")
+        return AnalyzeStatement(table=self._table_name())
 
     def _create_table(self) -> CreateTableStatement:
         self._expect_keyword("CREATE")

@@ -19,6 +19,8 @@ from repro.fe.catalog import describe_table, table_schema
 from repro.fe.session import Session
 from repro.pagefile.schema import Schema
 from repro.sql.ast_nodes import (
+    AnalyzeStatement,
+    CreateIndexStatement,
     CreateTableStatement,
     DeleteStatement,
     InsertStatement,
@@ -115,6 +117,10 @@ class SqlSession:
             return self._update(statement)
         if isinstance(statement, CreateTableStatement):
             return self._create_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            return self._create_index(statement)
+        if isinstance(statement, AnalyzeStatement):
+            return self._analyze(statement)
         if isinstance(statement, TransactionStatement):
             return self._transaction(statement)
         raise SqlSyntaxError(f"unsupported statement {statement!r}")
@@ -137,7 +143,9 @@ class SqlSession:
             return explain_plan(Binder(schemas).bind_select(statement))
         plan = Binder(self._schemas_for(tables)).bind_select(statement)
         if not analyze:
-            return explain_plan(plan)
+            # Plain EXPLAIN shows what *would* run: the plan after the
+            # cost-based optimizer's rewrite (a no-op without statistics).
+            return explain_plan(self.session.optimized_plan(plan))
         result: AnalyzeResult = self.session.explain_analyze(plan)
         return result.text
 
@@ -159,9 +167,12 @@ class SqlSession:
         plan = Binder(self._schemas_for(tables)).bind_select(stmt)
         if pending is not None:
             profile = self.session.query_profiled(plan)
+            # Fingerprint the plan that actually ran — the optimizer may
+            # have rewritten join order/algorithms before execution.
+            executed = profile.plan if profile.plan is not None else plan
             pending.record_plan(
-                explain_plan(plan),
-                operator_summaries(plan, profile.stats, profile.estimates),
+                explain_plan(executed),
+                operator_summaries(executed, profile.stats, profile.estimates),
             )
             return profile.batch
         return self.session.query(plan)
@@ -268,6 +279,18 @@ class SqlSession:
             sort_column=sort,
             unique_column=stmt.options.get("unique"),
         )
+
+    def _create_index(self, stmt: CreateIndexStatement) -> int:
+        _reject_system_write(stmt.table, "CREATE INDEX")
+        payload = self.session.create_index(
+            stmt.table, stmt.index_name, stmt.column
+        )
+        return int(payload["entries"])
+
+    def _analyze(self, stmt: AnalyzeStatement) -> int:
+        _reject_system_write(stmt.table, "ANALYZE")
+        stats = self.session.analyze_table(stmt.table)
+        return int(stats.row_count)
 
     def _transaction(self, stmt: TransactionStatement):
         if stmt.action == "begin":

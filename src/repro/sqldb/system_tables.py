@@ -1,7 +1,7 @@
 """Typed accessors for the Polaris system-catalog tables.
 
-Four system tables (Figure 4 of the paper, plus the checkpoint table from
-Section 5.2 and the logical ``Tables`` catalog):
+Six system tables (Figure 4 of the paper, plus the checkpoint table from
+Section 5.2, the logical ``Tables`` catalog, and the optimizer catalog):
 
 * ``Tables``     — logical metadata: table id, name, schema.
 * ``Manifests``  — one row per (committed write transaction × modified
@@ -11,6 +11,12 @@ Section 5.2 and the logical ``Tables`` catalog):
   keyed by table id (table granularity) or (table id, data file name)
   (file granularity, Section 4.4.1).
 * ``Checkpoints`` — manifest checkpoints per table.
+* ``TableStats``  — optimizer statistics per (table, snapshot sequence):
+  row counts, per-column NDV/null-fraction/min/max and equi-depth
+  histograms collected by ANALYZE, versioned so time-travel reads see
+  the stats that described the data they see.
+* ``Indexes``    — secondary-index catalog: indexed column, index file
+  path, build sequence and the covered data-file names.
 
 All functions operate through a :class:`~repro.sqldb.SqlDbTransaction`, so
 their effects inherit the caller's isolation and atomicity.
@@ -26,6 +32,8 @@ TABLES = "Tables"
 MANIFESTS = "Manifests"
 WRITESETS = "WriteSets"
 CHECKPOINTS = "Checkpoints"
+TABLE_STATS = "TableStats"
+INDEXES = "Indexes"
 
 
 # -- Tables -------------------------------------------------------------------
@@ -202,3 +210,117 @@ def checkpoints_for_table(
     rows = list(txn.scan(CHECKPOINTS, lambda r: r["table_id"] == table_id))
     rows.sort(key=lambda r: r["sequence_id"])
     return rows
+
+
+# -- TableStats ------------------------------------------------------------------
+
+
+def put_table_stats(
+    txn: SqlDbTransaction,
+    table_id: int,
+    sequence_id: int,
+    payload: Dict[str, Any],
+) -> None:
+    """Persist collected optimizer statistics for a table snapshot.
+
+    Stats are keyed ``(table_id, sequence_id)`` — versioned with the
+    snapshot sequence they were collected at, so a time-travel read at
+    sequence *s* resolves the stats that describe data visible at *s*
+    (never stats computed from a future snapshot).  Re-ANALYZE at the
+    same sequence overwrites in place (it is a refinement, not history).
+    """
+    row = dict(payload)
+    row["table_id"] = table_id
+    row["sequence_id"] = sequence_id
+    txn.put(TABLE_STATS, (table_id, sequence_id), row)
+
+
+def latest_table_stats(
+    txn: SqlDbTransaction, table_id: int, max_seq_inclusive: int
+) -> Optional[Dict[str, Any]]:
+    """Newest visible statistics of ``table_id`` at or below a sequence."""
+    best: Optional[Dict[str, Any]] = None
+    for row in txn.scan(
+        TABLE_STATS,
+        lambda r: r["table_id"] == table_id
+        and r["sequence_id"] <= max_seq_inclusive,
+    ):
+        if best is None or row["sequence_id"] > best["sequence_id"]:
+            best = row
+    return best
+
+
+def stats_for_table(
+    txn: SqlDbTransaction, table_id: int
+) -> List[Dict[str, Any]]:
+    """All visible statistics versions of a table, ordered by sequence."""
+    rows = list(txn.scan(TABLE_STATS, lambda r: r["table_id"] == table_id))
+    rows.sort(key=lambda r: r["sequence_id"])
+    return rows
+
+
+def all_table_stats(txn: SqlDbTransaction) -> List[Dict[str, Any]]:
+    """Every visible statistics row (DMV provider), deterministic order."""
+    rows = list(txn.scan(TABLE_STATS))
+    rows.sort(key=lambda r: (r["table_id"], r["sequence_id"]))
+    return rows
+
+
+def delete_table_stats(
+    txn: SqlDbTransaction, table_id: int, sequence_id: int
+) -> None:
+    """Drop one statistics version (GC of superseded stats)."""
+    txn.delete(TABLE_STATS, (table_id, sequence_id))
+
+
+# -- Indexes ---------------------------------------------------------------------
+
+
+def put_index(
+    txn: SqlDbTransaction,
+    table_id: int,
+    index_name: str,
+    payload: Dict[str, Any],
+) -> None:
+    """Register (or replace, on rebuild) a secondary index.
+
+    The payload records the indexed column, the index file's object-store
+    path, the snapshot ``sequence_id`` it was built from and — crucially —
+    the exact data-file names it covers.  The read path prunes *only*
+    covered files, so a stale index (data files added after the build)
+    stays correct: unknown files are always scanned.
+    """
+    row = dict(payload)
+    row["table_id"] = table_id
+    row["index_name"] = index_name
+    txn.put(INDEXES, (table_id, index_name), row)
+
+
+def get_index(
+    txn: SqlDbTransaction, table_id: int, index_name: str
+) -> Optional[Dict[str, Any]]:
+    """Fetch one index row by name."""
+    return txn.get(INDEXES, (table_id, index_name))
+
+
+def indexes_for_table(
+    txn: SqlDbTransaction, table_id: int
+) -> List[Dict[str, Any]]:
+    """All visible indexes of a table, ordered by name."""
+    rows = list(txn.scan(INDEXES, lambda r: r["table_id"] == table_id))
+    rows.sort(key=lambda r: r["index_name"])
+    return rows
+
+
+def all_indexes(txn: SqlDbTransaction) -> List[Dict[str, Any]]:
+    """Every visible index row (DMV provider), deterministic order."""
+    rows = list(txn.scan(INDEXES))
+    rows.sort(key=lambda r: (r["table_id"], r["index_name"]))
+    return rows
+
+
+def drop_index(
+    txn: SqlDbTransaction, table_id: int, index_name: str
+) -> None:
+    """Remove an index row (DROP TABLE cleanup or explicit drop)."""
+    txn.delete(INDEXES, (table_id, index_name))

@@ -97,6 +97,11 @@ def run_garbage_collection(context: ServiceContext) -> GcReport:
                         inactive.add(tomb.path)
                     else:
                         active.add(tomb.path)
+            # Secondary indexes: the catalog row pins the current index
+            # blob; superseded blobs (a rebuild writes a new path) fall
+            # through to the orphan rule below.
+            for row in catalog.indexes_for_table(txn, table_id):
+                active.add(row["path"])
             # Checkpoints: a checkpoint superseded by a newer one and
             # older than the retention period can never serve a readable
             # snapshot again.

@@ -4,10 +4,16 @@ The STO "gathers input from multiple sources and executes actions based on
 specific triggers" (Section 5).  Inputs here are bus events:
 
 * ``txn.committed`` — feeds the checkpoint trigger (more than N manifests
-  since the last checkpoint → checkpoint now) and the Delta publisher.
+  since the last checkpoint → checkpoint now), the Delta publisher, the
+  auto-ANALYZE trigger (ingested-row churn since the last statistics
+  collection crosses ``config.optimizer.auto_analyze_rows``), and
+  secondary-index maintenance (indexes lagging the table's snapshot are
+  rebuilt so index pruning keeps covering fresh data).
 * ``stats.table`` — feeds the health monitor; a table crossing the
   low-quality threshold schedules a compaction, which runs after a short
   delay (the paper's "within a few minutes") on a subsequent event tick.
+  Compactions rewrite data files, so a committed compaction also
+  refreshes the table's indexes.
 
 Everything can also be driven manually (``run_compaction``, ``run_gc``,
 ``run_checkpoint``) — tests and ablation benches use that mode with
@@ -18,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.common.errors import WriteConflictError
 from repro.common.events import Event
 from repro.engine.statistics import collect_stats
 from repro.fe.context import ServiceContext
@@ -45,6 +52,12 @@ class SystemTaskOrchestrator:
         self.publisher = DeltaPublisher(context)
         #: table_id -> simulated time the pending compaction becomes due.
         self._pending_compactions: Dict[int, float] = {}
+        #: table_id -> row churn since the last (auto or manual) ANALYZE.
+        self._rows_since_analyze: Dict[int, int] = {}
+        #: Auto-ANALYZE runs completed, per table (test/DMV visibility).
+        self.auto_analyzes: Dict[int, int] = {}
+        #: Index rebuilds completed by maintenance, per table.
+        self.index_refreshes: Dict[int, int] = {}
         self._busy = False
         self.compactions: List[CompactionResult] = []
         self.checkpoints: List[CheckpointResult] = []
@@ -63,6 +76,7 @@ class SystemTaskOrchestrator:
         """Reset trigger state after a restore replaced the catalog."""
         self._context = context
         self._pending_compactions.clear()
+        self._rows_since_analyze.clear()
 
     # -- event handlers -----------------------------------------------------------
 
@@ -88,9 +102,103 @@ class SystemTaskOrchestrator:
                 result = self._checkpoint_span(table_id, trigger="commit")
                 if result is not None:
                     self.checkpoints.append(result)
+            self._maybe_auto_analyze(table_id, event.payload)
+            self._maintain_indexes(table_id)
             self._drain_compactions()
         finally:
             self._busy = False
+
+    def _maybe_auto_analyze(self, table_id: int, payload: Dict) -> None:
+        """Re-ANALYZE a table once its row churn crosses the threshold.
+
+        Churn is inserted plus deleted rows accumulated across commits;
+        ``config.optimizer.auto_analyze_rows`` of zero (the default)
+        disables the trigger entirely.  The collection runs in its own
+        transaction, exactly like a user ``ANALYZE`` — a conflict with a
+        concurrent committer just skips this round (the churn counter
+        keeps the trigger armed for the next commit).
+        """
+        config = self._context.config.optimizer
+        optimizer = self._context.optimizer
+        if config.auto_analyze_rows <= 0 or optimizer is None:
+            return
+        churn = int(payload.get("rows_inserted", 0)) + int(
+            payload.get("rows_deleted", 0)
+        )
+        total = self._rows_since_analyze.get(table_id, 0) + churn
+        if total < config.auto_analyze_rows:
+            self._rows_since_analyze[table_id] = total
+            return
+        txn = self._context.sqldb.begin()
+        try:
+            table = catalog.get_table(txn, table_id)
+        finally:
+            txn.abort()
+        if table is None:
+            return
+        tel = self._context.telemetry
+        tel.add_event(
+            "sto.trigger.analyze", table_id=table_id, rows_since_analyze=total
+        )
+        from repro.fe.transaction import PolarisTransaction
+        from repro.optimizer.statistics import SOURCE_AUTO
+
+        analyze_txn = PolarisTransaction(self._context)
+        with tel.span("sto.analyze", "sto", table_id=table_id):
+            try:
+                optimizer.analyze_table(
+                    analyze_txn, table["name"], source=SOURCE_AUTO
+                )
+                analyze_txn.commit()
+            except WriteConflictError:
+                analyze_txn.rollback()
+                return
+            except BaseException:
+                if analyze_txn.is_active:
+                    analyze_txn.rollback()
+                raise
+        self._rows_since_analyze[table_id] = 0
+        self.auto_analyzes[table_id] = self.auto_analyzes.get(table_id, 0) + 1
+
+    def _maintain_indexes(self, table_id: int) -> None:
+        """Rebuild indexes of ``table_id`` that lag its latest snapshot.
+
+        Runs in its own transaction after the triggering commit; a
+        conflict skips the round (the indexes stay stale but safe —
+        uncovered files are always scanned — and the next commit or
+        compaction retries).
+        """
+        optimizer = self._context.optimizer
+        if optimizer is None or not self._context.config.optimizer.enabled:
+            return
+        # Cheap existence probe first: a plain catalog read, so tables
+        # without indexes (the common case) cost no FE transaction.
+        probe = self._context.sqldb.begin()
+        try:
+            has_indexes = bool(catalog.indexes_for_table(probe, table_id))
+        finally:
+            probe.abort()
+        if not has_indexes:
+            return
+        from repro.fe.transaction import PolarisTransaction
+
+        txn = PolarisTransaction(self._context)
+        tel = self._context.telemetry
+        with tel.span("sto.index_refresh", "sto", table_id=table_id):
+            try:
+                rebuilt = optimizer.refresh_indexes(txn, table_id)
+                txn.commit()
+            except WriteConflictError:
+                txn.rollback()
+                return
+            except BaseException:
+                if txn.is_active:
+                    txn.rollback()
+                raise
+        if rebuilt:
+            self.index_refreshes[table_id] = (
+                self.index_refreshes.get(table_id, 0) + rebuilt
+            )
 
     def _observe_health(self, stats) -> None:
         """Record one stats observation and refresh the health gauge."""
@@ -220,6 +328,9 @@ class SystemTaskOrchestrator:
             )
             stats = collect_stats(table_id, snapshot, self._context.config.sto)
             self._observe_health(stats)
+            # The rewrite replaced data files, so covered-file pruning
+            # would otherwise go dark until the next commit.
+            self._maintain_indexes(table_id)
         return result
 
     def run_checkpoint(self, table_id: int) -> Optional[CheckpointResult]:

@@ -33,6 +33,21 @@ def checkpoint_path(database: str, table_id: int, sequence_id: int) -> str:
     return f"{table_root(database, table_id)}/_checkpoints/{sequence_id:012d}.checkpoint.json"
 
 
+def index_file_path(
+    database: str, table_id: int, index_name: str, sequence_id: int
+) -> str:
+    """Path of a secondary-index sorted-run file built at ``sequence_id``.
+
+    Index files live under ``_indexes/`` inside the table root so
+    recovery's catalog reconciliation can scavenge orphaned builds the
+    same way it scavenges orphaned checkpoints.
+    """
+    return (
+        f"{table_root(database, table_id)}/_indexes/"
+        f"{index_name}.{sequence_id:012d}.index"
+    )
+
+
 def quarantine_path(path: str) -> str:
     """Quarantine location of a corrupt blob (outside every scanned root).
 

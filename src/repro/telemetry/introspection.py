@@ -36,6 +36,10 @@ Views (one provider each; schemas documented in ``docs/OBSERVABILITY.md``):
                             joinable with ``sys.dm_exec_query_stats``.
 ``sys.dm_commit_lock``      The commit lock: current holder, acquisitions,
                             busy horizon, cumulative wait/hold seconds.
+``sys.dm_table_stats``      Optimizer statistics per table: every versioned
+                            ``TableStats`` row with its provenance.
+``sys.dm_index_stats``      Secondary indexes: catalog facts plus lifetime
+                            lookup and file-pruning counters.
 ==========================  ==================================================
 
 Everything reads *live* state at query time; nothing here mutates the
@@ -408,6 +412,35 @@ class Introspector:
             ),
             "_dm_commit_lock",
         ),
+        "sys.dm_table_stats": (
+            Schema.of(
+                ("table_id", "int64"),
+                ("table_name", "string"),
+                ("sequence_id", "int64"),
+                ("row_count", "int64"),
+                ("column_count", "int64"),
+                ("analyzed_at", "float64"),
+                ("source", "string"),
+                ("feedback_factor", "float64"),
+            ),
+            "_dm_table_stats",
+        ),
+        "sys.dm_index_stats": (
+            Schema.of(
+                ("table_id", "int64"),
+                ("table_name", "string"),
+                ("index_name", "string"),
+                ("column_name", "string"),
+                ("sequence_id", "int64"),
+                ("entries", "int64"),
+                ("covered_files", "int64"),
+                ("size_bytes", "int64"),
+                ("built_at", "float64"),
+                ("lookups", "int64"),
+                ("files_pruned", "int64"),
+            ),
+            "_dm_index_stats",
+        ),
     }
 
     def __init__(self, context: "ServiceContext") -> None:
@@ -749,6 +782,60 @@ class Introspector:
                 "total_hold_s": lock.total_hold_s,
             }
         ]
+
+    def _dm_table_stats(self) -> List[Dict[str, Any]]:
+        txn = self._context.sqldb.begin()
+        try:
+            rows = syscat.all_table_stats(txn)
+        finally:
+            txn.abort()
+        return [
+            {
+                "table_id": row["table_id"],
+                "table_name": row["table_name"],
+                "sequence_id": row["sequence_id"],
+                "row_count": int(row["row_count"]),
+                "column_count": len(row["columns"]),
+                "analyzed_at": float(row["analyzed_at"]),
+                "source": row["source"],
+                "feedback_factor": float(row["feedback_factor"]),
+            }
+            for row in rows
+        ]
+
+    def _dm_index_stats(self) -> List[Dict[str, Any]]:
+        txn = self._context.sqldb.begin()
+        try:
+            names = {
+                t["table_id"]: t["name"] for t in syscat.list_tables(txn)
+            }
+            index_rows = syscat.all_indexes(txn)
+        finally:
+            txn.abort()
+        optimizer = self._context.optimizer
+        rows = []
+        for row in index_rows:
+            usage = (
+                optimizer.index_usage(row["table_id"], row["index_name"])
+                if optimizer is not None
+                else {"lookups": 0, "files_pruned": 0}
+            )
+            rows.append(
+                {
+                    "table_id": row["table_id"],
+                    "table_name": names.get(row["table_id"], ""),
+                    "index_name": row["index_name"],
+                    "column_name": row["column"],
+                    "sequence_id": row["sequence_id"],
+                    "entries": int(row["entries"]),
+                    "covered_files": len(row["covered_files"]),
+                    "size_bytes": int(row["size_bytes"]),
+                    "built_at": float(row["built_at"]),
+                    "lookups": usage["lookups"],
+                    "files_pruned": usage["files_pruned"],
+                }
+            )
+        return rows
 
     # -- end-of-run report ----------------------------------------------------
 

@@ -40,6 +40,24 @@ METRIC_NAMES: Dict[str, str] = {
     "dcp.task_failures": "Transient task-attempt failures.",
     "dcp.task_retries": "Task attempts beyond the first.",
     "dcp.tasks": "Tasks executed, labeled by pool.",
+    "optimizer.analyze.runs": (
+        "ANALYZE executions, labeled by source (analyze vs auto)."
+    ),
+    "optimizer.analyze.rows_scanned": "Rows scanned by ANALYZE statements.",
+    "optimizer.index.builds": "Secondary-index builds (and rebuilds).",
+    "optimizer.index.entries": "Distinct (key, file) entries written to indexes.",
+    "optimizer.index.files_pruned": (
+        "Data files skipped because an index proved they cannot match."
+    ),
+    "optimizer.index.lookups": "Equality probes answered by an index.",
+    "optimizer.plan.algorithm_switches": (
+        "Join operators whose algorithm the cost model changed."
+    ),
+    "optimizer.plan.reorders": "Plans whose join order the optimizer changed.",
+    "optimizer.plan.rewrites": "Plans changed by the cost-based rewrite pass.",
+    "optimizer.plan.transitive_conjuncts": (
+        "Scan predicates added by transitive equality propagation."
+    ),
     "querystore.plan_regressions": (
         "Fingerprints whose recent p95 regressed past their baseline."
     ),
@@ -131,12 +149,15 @@ SPAN_NAMES: Dict[str, str] = {
     "retry": "Span event: one failed attempt inside with_retries.",
     "retry.exhausted": "Span event: a retried operation ran out of attempts.",
     "service.request": "One gateway request, dispatch to completion.",
+    "sto.analyze": "One auto-ANALYZE statistics-collection job.",
     "sto.checkpoint": "One checkpoint job.",
     "sto.compaction": "One compaction job.",
+    "sto.index_refresh": "One secondary-index maintenance job.",
     "sto.gc": "One garbage-collection job.",
     "sto.publish": "One open-format publish of a committed manifest.",
     "sto.scrub": "One integrity-scrub job over every live table.",
     "sto.scrub.finding": "Span event: one corrupt blob found by the scrubber.",
+    "sto.trigger.analyze": "Span event: auto-ANALYZE trigger fired.",
     "sto.trigger.checkpoint": "Span event: checkpoint trigger fired.",
     "sto.trigger.compaction": "Span event: compaction trigger fired.",
     "storage.corruption": "Span event: an injected corruption fault.",

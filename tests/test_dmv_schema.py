@@ -192,6 +192,29 @@ EXPECTED_SCHEMAS = {
         ("total_wait_s", "float64"),
         ("total_hold_s", "float64"),
     ),
+    "sys.dm_table_stats": (
+        ("table_id", "int64"),
+        ("table_name", "string"),
+        ("sequence_id", "int64"),
+        ("row_count", "int64"),
+        ("column_count", "int64"),
+        ("analyzed_at", "float64"),
+        ("source", "string"),
+        ("feedback_factor", "float64"),
+    ),
+    "sys.dm_index_stats": (
+        ("table_id", "int64"),
+        ("table_name", "string"),
+        ("index_name", "string"),
+        ("column_name", "string"),
+        ("sequence_id", "int64"),
+        ("entries", "int64"),
+        ("covered_files", "int64"),
+        ("size_bytes", "int64"),
+        ("built_at", "float64"),
+        ("lookups", "int64"),
+        ("files_pruned", "int64"),
+    ),
 }
 
 
